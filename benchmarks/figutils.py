@@ -1,0 +1,94 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates the series of one paper figure, writes a
+plain-text table to ``benchmarks/results/`` (collected into
+EXPERIMENTS.md) and asserts the figure's qualitative claims.  Absolute
+numbers come from the calibrated machine models, so only the *shape*
+— who wins, by what factor, where curves cross — is compared with the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+
+from repro.core.hicma_parsec import HICMA_PARSEC
+from repro.core.lorapo import FrameworkConfig
+from repro.core.rank_model import SyntheticRankField
+from repro.machine import AnalyticModel
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: analytic-model sampling budget for benchmarks (speed over the last
+#: percent of sampling accuracy)
+PAIR_BUDGET = 5_000_000
+
+#: The paper's shape-parameter choice (Sec. VIII-B).
+PAPER_SHAPE = 3.7e-4
+#: The paper's default accuracy threshold (Sec. VIII-A).
+PAPER_ACCURACY = 1.0e-4
+
+#: HiCMA-PaRSEC *without* DAG trimming (same distributions): isolates
+#: the trimming optimization for Figs. 4 and 6.
+NOTRIM = FrameworkConfig(
+    name="HiCMA-PaRSEC (no trim)",
+    trim=False,
+    data_distribution=HICMA_PARSEC.data_distribution,
+    exec_distribution=HICMA_PARSEC.exec_distribution,
+    null_rank_floor=None,
+)
+
+
+def tuned_tile_size(n: int) -> int:
+    """The paper's tuning rule b = O(sqrt(N)), anchored at the
+    reported 2.99M/2440 pair (Fig. 4b)."""
+    return max(256, int(2440 * math.sqrt(n / 2.99e6)))
+
+
+def paper_field(
+    n: int,
+    tile_size: int | None = None,
+    shape: float = PAPER_SHAPE,
+    accuracy: float = PAPER_ACCURACY,
+    seed: int = 0,
+) -> SyntheticRankField:
+    """Rank field of the paper's virus workload at matrix size n."""
+    b = tuned_tile_size(n) if tile_size is None else tile_size
+    return SyntheticRankField.from_parameters(
+        n, b, shape_parameter=shape, accuracy=accuracy, seed=seed
+    )
+
+
+def model(machine, nodes: int, config) -> AnalyticModel:
+    return AnalyticModel(machine, nodes, config, pair_budget=PAIR_BUDGET)
+
+
+def write_table(name: str, title: str, header: list[str], rows: list[list]) -> Path:
+    """Write one figure's series as an aligned text table."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    widths = [
+        max(len(str(header[i])), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(_fmt(v).ljust(widths[i]) for i, v in enumerate(r)))
+    text = "\n".join(lines) + "\n"
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print("\n" + text)
+    return path
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)

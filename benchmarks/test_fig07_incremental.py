@@ -1,0 +1,64 @@
+"""Fig. 7 — incremental effect of the two distribution optimizations.
+
+Top: band distribution vs trim-only (paper: speedup up to 1.60x, and
+the impact of the communication reduction grows with the number of
+processes).  Bottom: adding the rank-aware diamond-shaped distribution
+(paper: further speedup up to 1.55x, growing with matrix size and
+process count).
+"""
+
+import pytest
+
+from repro.core.hicma_parsec import BAND_ONLY, HICMA_PARSEC, TRIM_ONLY
+from repro.machine import SHAHEEN_II
+
+from figutils import model, paper_field, write_table
+
+NODES = [128, 256, 512]
+SIZES = [5_970_000, 11_950_000]
+
+
+def sweep():
+    rows = []
+    for n in SIZES:
+        field = paper_field(n)
+        for nodes in NODES:
+            t = model(SHAHEEN_II, nodes, TRIM_ONLY).factorization_time(field)
+            b = model(SHAHEEN_II, nodes, BAND_ONLY).factorization_time(field)
+            d = model(SHAHEEN_II, nodes, HICMA_PARSEC).factorization_time(field)
+            rows.append(
+                [
+                    f"{n/1e6:.2f}M",
+                    nodes,
+                    round(t.makespan, 2),
+                    round(b.makespan, 2),
+                    round(d.makespan, 2),
+                    round(t.makespan / b.makespan, 3),
+                    round(b.makespan / d.makespan, 3),
+                ]
+            )
+    return rows
+
+
+def test_fig07_incremental(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig07_incremental",
+        "Fig. 7: incremental effect of band and diamond distributions "
+        "(Shaheen II)",
+        ["N", "nodes", "T trim [s]", "T +band [s]", "T +diamond [s]",
+         "band speedup", "diamond speedup"],
+        rows,
+    )
+    band = {(r[0], r[1]): r[5] for r in rows}
+    dia = {(r[0], r[1]): r[6] for r in rows}
+    # both optimizations help everywhere
+    assert all(v >= 1.0 - 1e-6 for v in band.values())
+    assert all(v >= 1.0 - 0.02 for v in dia.values())
+    # band speedup within the paper's ballpark (up to 1.60x)
+    assert max(band.values()) <= 2.5
+    assert max(band.values()) >= 1.05
+    # band impact grows with process count (paper Sec. VIII-E)
+    for n in SIZES:
+        label = f"{n/1e6:.2f}M"
+        assert band[(label, 512)] >= band[(label, 128)] * 0.95

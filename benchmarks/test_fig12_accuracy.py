@@ -1,0 +1,60 @@
+"""Fig. 12 — time vs accuracy threshold on 512 Shaheen II nodes.
+
+Paper: thresholds 1e-5, 1e-7, 1e-9; tighter accuracy keeps more
+singular values per tile (higher ranks) and costs more time; HiCMA-
+PaRSEC keeps its performance superiority at every threshold.
+"""
+
+import pytest
+
+from repro.core.hicma_parsec import HICMA_PARSEC
+from repro.core.lorapo import LORAPO
+from repro.machine import SHAHEEN_II
+
+from figutils import model, paper_field, write_table
+
+ACCURACIES = [1.0e-5, 1.0e-7, 1.0e-9]
+SIZES = [2_990_000, 5_970_000]
+NODES = 512
+
+
+def sweep():
+    rows = []
+    for n in SIZES:
+        for acc in ACCURACIES:
+            field = paper_field(n, accuracy=acc)
+            lo = model(SHAHEEN_II, NODES, LORAPO).factorization_time(field)
+            hi = model(SHAHEEN_II, NODES, HICMA_PARSEC).factorization_time(field)
+            rows.append(
+                [
+                    f"{n/1e6:.2f}M",
+                    f"{acc:.0e}",
+                    int(field.rank_by_distance[1]),
+                    round(lo.makespan, 2),
+                    round(hi.makespan, 2),
+                    round(lo.makespan / hi.makespan, 2),
+                ]
+            )
+    return rows
+
+
+def test_fig12_accuracy(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig12_accuracy",
+        f"Fig. 12: time vs accuracy threshold ({NODES} Shaheen II nodes)",
+        ["N", "accuracy", "max rank", "Lorapo [s]", "HiCMA-PaRSEC [s]", "speedup"],
+        rows,
+    )
+    by_size = {}
+    for label, acc, rank, lo, hi, sp in rows:
+        by_size.setdefault(label, []).append((acc, rank, hi, sp))
+    for label, series in by_size.items():
+        ranks = [s[1] for s in series]
+        times = [s[2] for s in series]
+        sps = [s[3] for s in series]
+        # tighter accuracy -> higher ranks -> more time
+        assert ranks == sorted(ranks)
+        assert times == sorted(times)
+        # superiority holds regardless of the threshold
+        assert all(s > 1.5 for s in sps)

@@ -1,0 +1,66 @@
+"""Fig. 13 — incremental optimizations and the critical-path roofline
+on 512 Fugaku nodes, at the paper's fixed tile size 4880.
+
+The critical path (kernel time only, no communication) is the
+paper's *optimistic bound*; the efficiency is its ratio to the
+achieved time-to-solution.  Claims checked: each optimization step
+reduces time; the final configuration achieves >= 70% efficiency
+(paper: 75.4% on Fugaku, > 70% on Shaheen II).
+"""
+
+import pytest
+
+from repro.core.hicma_parsec import BAND_ONLY, HICMA_PARSEC, TRIM_ONLY
+from repro.core.lorapo import LORAPO
+from repro.machine import FUGAKU
+
+from figutils import model, paper_field, write_table
+
+SIZES = [2_990_000, 5_970_000, 11_950_000]
+NODES = 512
+TILE = 4880  # fixed, as in Sec. VIII-G
+
+
+def kernel_only_cp(result):
+    """The paper's roofline: critical-path kernels, no communication."""
+    return result.t_critical_path
+
+
+def sweep():
+    rows = []
+    for n in SIZES:
+        field = paper_field(n, tile_size=TILE)
+        lo = model(FUGAKU, NODES, LORAPO).factorization_time(field)
+        t = model(FUGAKU, NODES, TRIM_ONLY).factorization_time(field)
+        b = model(FUGAKU, NODES, BAND_ONLY).factorization_time(field)
+        d = model(FUGAKU, NODES, HICMA_PARSEC).factorization_time(field)
+        rows.append(
+            [
+                f"{n/1e6:.2f}M",
+                round(lo.makespan, 2),
+                round(t.makespan, 2),
+                round(b.makespan, 2),
+                round(d.makespan, 2),
+                round(d.t_critical_path, 2),
+                round(d.cp_efficiency, 3),
+            ]
+        )
+    return rows
+
+
+def test_fig13_roofline(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig13_roofline",
+        f"Fig. 13: incremental optimizations and critical-path roofline "
+        f"({NODES} Fugaku nodes, tile {TILE})",
+        ["N", "Lorapo [s]", "+trim [s]", "+band [s]", "+diamond [s]",
+         "critical path [s]", "efficiency"],
+        rows,
+    )
+    for label, lo, t, b, d, cp, eff in rows:
+        # each increment is a remarkable reduction (monotone chain)
+        assert lo > t >= b * 0.999 >= d * 0.998
+        # the final config approaches the optimistic bound
+        assert eff > 0.70, (label, eff)
+        assert eff <= 1.0

@@ -1,0 +1,65 @@
+"""Fig. 14 — extreme-scale performance on Shaheen II: matrix sizes up
+to 52.57M on up to 2048 nodes.
+
+Each matrix size is a strong-scaling experiment (time drops or
+plateaus with more nodes); each node count a weak-scaling one (time
+grows with size).  Claim checked: the 52.57M matrix factorizes in
+tens of minutes at 2048 nodes (paper: ~36 minutes), an unprecedented
+problem size for TLR matrix computations.
+"""
+
+import pytest
+
+from repro.core.hicma_parsec import HICMA_PARSEC
+from repro.machine import SHAHEEN_II
+
+from figutils import model, paper_field, write_table
+
+GRID = [
+    (11_950_000, 512),
+    (11_950_000, 1024),
+    (26_280_000, 1024),
+    (26_280_000, 2048),
+    (52_570_000, 1024),
+    (52_570_000, 2048),
+]
+
+
+def sweep():
+    rows = []
+    fields = {}
+    for n, nodes in GRID:
+        if n not in fields:
+            fields[n] = paper_field(n, tile_size=4880)
+        r = model(SHAHEEN_II, nodes, HICMA_PARSEC).factorization_time(fields[n])
+        rows.append(
+            [
+                f"{n/1e6:.2f}M",
+                nodes,
+                fields[n].nt,
+                round(r.makespan, 1),
+                round(r.makespan / 60.0, 2),
+                round(r.cp_efficiency, 3),
+            ]
+        )
+    return rows
+
+
+def test_fig14_extreme_scale(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table(
+        "fig14_extreme_scale",
+        "Fig. 14: extreme scale on Shaheen II (shape 3.7e-4, acc 1e-4, "
+        "tile 4880)",
+        ["N", "nodes", "NT", "time [s]", "time [min]", "cp efficiency"],
+        rows,
+    )
+    t = {(r[0], r[1]): r[3] for r in rows}
+    # strong scaling: more nodes never much slower at fixed size
+    assert t[("11.95M", 1024)] <= t[("11.95M", 512)] * 1.05
+    assert t[("26.28M", 2048)] <= t[("26.28M", 1024)] * 1.05
+    assert t[("52.57M", 2048)] <= t[("52.57M", 1024)] * 1.05
+    # weak scaling: larger matrices cost more at fixed nodes
+    assert t[("52.57M", 1024)] > t[("26.28M", 1024)] > t[("11.95M", 1024)]
+    # headline: 52.57M factorizes in tens of minutes (paper: ~36 min)
+    assert 5.0 < t[("52.57M", 2048)] / 60.0 < 120.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""TLR LU on a BEM-like operator — the framework's non-symmetric path.
+
+The HiCMA group's acoustic-scattering solver (the paper's ref. [11])
+runs a tile low-rank LU factorization over the same machinery this
+repository reproduces for Cholesky.  This example builds a
+non-symmetric, diagonally-dominant kernel operator on a scatterer
+surface (sphere), compresses it, factorizes A = L U with the trimmed
+task graph, and solves a scattering-like right-hand side.
+
+Run:  python examples/acoustic_lu.py
+"""
+
+import numpy as np
+
+from repro import fibonacci_sphere
+from repro.core.tlr_lu import solve_lu, tlr_lu
+from repro.linalg import GeneralTLRMatrix
+from repro.utils.hilbert import hilbert_order
+
+
+def main() -> None:
+    # Scatterer surface: a sphere sampled quasi-uniformly, Hilbert-ordered.
+    n = 1200
+    pts = fibonacci_sphere(n, radius=1.0)
+    pts = pts[hilbert_order(pts)]
+
+    # A BEM-flavoured non-symmetric kernel: oscillatory decaying
+    # off-diagonal interactions plus a dominant diagonal (collocation
+    # self-terms).
+    d = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+    a = np.exp(-((d / 0.25) ** 2)) * np.cos(4.0 * d)
+    a += 0.05 * np.exp(-((d / 0.2) ** 2)) * np.tri(n, k=-1)  # non-symmetric
+    a += 6.0 * np.eye(n)
+    print(f"operator: {n} x {n}, non-symmetric "
+          f"(||A - A^T|| = {np.linalg.norm(a - a.T):.3f})")
+
+    # Compress the full tile grid and factorize A = L U.
+    t = GeneralTLRMatrix.from_dense(a, tile_size=150, accuracy=1e-8)
+    print(f"compressed: NT={t.n_tiles}, density={t.density():.3f}, "
+          f"{t.memory_bytes()/1e6:.2f} MB vs {a.nbytes/1e6:.2f} MB dense")
+
+    result = tlr_lu(t, trim=True)
+    counts = result.graph.task_counts()
+    print(f"tasks: {len(result.graph)} {counts}")
+    print(f"factorization residual ||A - LU||/||A||: "
+          f"{result.residual(a):.2e}")
+
+    # Scattering-like right-hand side: an incident plane wave sampled
+    # on the surface.
+    k_wave = np.array([4.0, 0.0, 0.0])
+    b = np.cos(pts @ k_wave)
+    x = solve_lu(result.factor, b)
+    rel = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+    print(f"solve residual ||Ax - b||/||b||       : {rel:.2e}")
+
+
+if __name__ == "__main__":
+    main()

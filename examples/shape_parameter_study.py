@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Shape-parameter study with real numerics (laptop-scale Fig. 4).
+
+Sweeps the Gaussian shape parameter over two decades on a real virus
+population, compressing and factorizing each operator, and reports the
+density / rank / time behaviour the paper analyzes in Figs. 1 and 4 —
+including the rank rise-and-fall and the trim/no-trim convergence.
+
+Run:  python examples/shape_parameter_study.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    RBFMatrixGenerator,
+    TLRMatrix,
+    min_spacing,
+    tlr_cholesky,
+    virus_population,
+)
+
+
+def main() -> None:
+    points = virus_population(5, points_per_virus=600, cube_edge=1.7, seed=4)
+    spacing = min_spacing(points)
+    b = 200
+    accuracy = 1e-4
+    print(f"N={len(points)}, tile {b}, accuracy {accuracy:.0e}, "
+          f"min spacing {spacing:.2e}\n")
+    header = (f"{'delta':>10s} {'init dens':>9s} {'final dens':>10s} "
+              f"{'max rank':>8s} {'avg rank':>8s} {'T trim':>8s} "
+              f"{'T full':>8s}")
+    print(header)
+    print("-" * len(header))
+
+    for mult in (2.0, 5.0, 15.0, 40.0, 90.0):
+        delta = 0.5 * spacing * mult
+        gen = RBFMatrixGenerator(points, delta, tile_size=b, nugget=1e-2)
+
+        def factorize(trim: bool):
+            a = TLRMatrix.compress(gen.tile, gen.n, b, accuracy=accuracy)
+            t0 = time.perf_counter()
+            res = tlr_cholesky(a, trim=trim)
+            return a, res, time.perf_counter() - t0
+
+        a_trim, res_trim, t_trim = factorize(True)
+        _, _, t_full = factorize(False)
+        stats = res_trim.factor.off_diagonal_rank_stats()
+        init_density = res_trim.analysis.initial_density()
+        print(
+            f"{delta:10.3e} {init_density:9.3f} "
+            f"{res_trim.factor.density():10.3f} {stats['max']:8.0f} "
+            f"{stats['avg']:8.1f} {t_trim:8.3f} {t_full:8.3f}"
+        )
+
+    print("\nObservations (matching the paper):")
+    print(" - density grows with the shape parameter;")
+    print(" - ranks rise then fall as correlations smooth out;")
+    print(" - trim/full times converge once few tiles are null.")
+
+
+if __name__ == "__main__":
+    main()

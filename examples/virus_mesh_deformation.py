@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""3D unstructured mesh deformation of a moving virus (Sec. IV-C).
+
+The paper's driving application: the boundary nodes of a SARS-CoV-2-
+like virion move (here: a rigid rotation plus a radial breathing
+mode), and the displacement field is interpolated to the surrounding
+volume mesh by Gaussian RBF interpolation — whose dense SPD system is
+solved through the TLR Cholesky pipeline.
+
+Run:  python examples/virus_mesh_deformation.py
+"""
+
+import numpy as np
+
+from repro import RBFMeshDeformation, random_cloud, synthetic_virus
+from repro.apps import quality_report, radial_expansion, rigid_rotation
+
+
+def main() -> None:
+    # Boundary: one virion surface; volume: points in a shell around it.
+    boundary = synthetic_virus(n_points=1500, diameter=0.1, seed=0)
+    rng = np.random.default_rng(2)
+    shell = random_cloud(2000, extent=0.3, seed=3) - 0.15
+    # keep volume nodes outside the capsid
+    shell = shell[np.linalg.norm(shell, axis=1) > 0.07][:800]
+    print(f"boundary nodes : {len(boundary)}")
+    print(f"volume nodes   : {len(shell)}")
+
+    # Prescribed boundary motion: rotate 5 degrees and inflate 2%.
+    d_b = rigid_rotation(boundary, angle=np.deg2rad(5.0)) + radial_expansion(
+        boundary, factor=0.02
+    )
+    print(f"max boundary displacement: {np.abs(d_b).max():.4e}")
+
+    # The TLR mesh-deformation solver (trimming on).  The shape
+    # parameter sets the influence radius of the boundary motion; the
+    # paper's half-min-spacing rule targets interpolation conditioning
+    # at extreme N — for a visible far-field here we widen it so the
+    # displacement reaches ~a body radius into the volume.
+    solver = RBFMeshDeformation(
+        boundary, shape_parameter=0.01, accuracy=1e-6, tile_size=200
+    )
+    print(f"shape parameter (1/2 min spacing): {solver.shape_parameter:.3e}")
+    result = solver.deform(shell, d_b)
+
+    print(f"operator density after compression: "
+          f"{solver.timings['initial_density']:.3f}")
+    print(f"boundary interpolation error      : {result.boundary_error:.2e}")
+    vol = result.volume_displacements
+    print(f"max volume displacement           : {np.abs(vol).max():.4e}")
+
+    # Mesh-quality proxy: displacements decay smoothly with distance
+    # from the boundary (no folding of far cells).
+    dist = np.array(
+        [np.min(np.linalg.norm(boundary - p, axis=1)) for p in shell]
+    )
+    near = np.abs(vol[dist < 0.02]).max()
+    far = np.abs(vol[dist > 0.12]).max() if np.any(dist > 0.12) else 0.0
+    print(f"near-field max displacement       : {near:.4e}")
+    print(f"far-field  max displacement       : {far:.4e}")
+    assert near > far, "displacement field must decay away from the body"
+
+    # Mesh quality: the deformation must not fold any volume cell.
+    rep = quality_report(shell, vol)
+    print(f"mesh cells / inverted             : {rep.n_cells} / {rep.n_inverted}")
+    print(f"cell volume ratio (min..max)      : "
+          f"{rep.min_volume_ratio:.3f} .. {rep.max_volume_ratio:.3f}")
+    assert rep.valid, "RBF deformation folded the mesh"
+
+    print("\nPhase timings:")
+    for key in ("generation+compression", "factorization", "solve",
+                "interpolation"):
+        print(f"  {key:26s}: {result.timings[key]:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the `wheel` package is unavailable (PEP 517 editable builds need
+bdist_wheel).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""End-user applications built on the TLR Cholesky framework."""
+
+from repro.apps.deformation_field import (
+    bending,
+    radial_expansion,
+    rigid_rotation,
+    translation,
+)
+from repro.apps.mesh_deformation import MeshDeformationResult, RBFMeshDeformation
+from repro.apps.mesh_quality import QualityReport, quality_report
+from repro.apps.spatial_statistics import GaussianLogLikelihood, LikelihoodResult
+
+__all__ = [
+    "RBFMeshDeformation",
+    "MeshDeformationResult",
+    "rigid_rotation",
+    "translation",
+    "bending",
+    "radial_expansion",
+    "QualityReport",
+    "quality_report",
+    "GaussianLogLikelihood",
+    "LikelihoodResult",
+]

@@ -1,0 +1,108 @@
+"""Gaussian-process log-likelihood over the TLR pipeline.
+
+The HiCMA line the paper extends (refs. [8]-[10], [13]) accelerates
+geospatial statistics: evaluating the Gaussian log-likelihood
+
+    l(theta) = -1/2 [ z^T Sigma(theta)^-1 z + log det Sigma(theta)
+                      + n log 2 pi ]
+
+for a Matern covariance ``Sigma`` over millions of 3D locations.
+Both expensive pieces come straight from the TLR Cholesky factor:
+``log det`` from the diagonal (``repro.core.solver.logdet``) and the
+quadratic form from a triangular solve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.core.solver import logdet, solve_lower
+from repro.core.tlr_cholesky import tlr_cholesky
+from repro.kernels.covariance import MaternKernel
+from repro.kernels.matgen import RBFMatrixGenerator
+from repro.linalg.tile_matrix import TLRMatrix
+from repro.utils.hilbert import hilbert_order
+
+__all__ = ["GaussianLogLikelihood", "LikelihoodResult"]
+
+
+@dataclass
+class LikelihoodResult:
+    log_likelihood: float
+    logdet: float
+    quadratic_form: float
+    seconds: float
+
+
+class GaussianLogLikelihood:
+    """TLR-accelerated Gaussian log-likelihood evaluation.
+
+    Parameters
+    ----------
+    locations:
+        ``(n, 3)`` observation sites (Hilbert-reordered internally).
+    nu:
+        Matern smoothness (1/2, 3/2, 5/2 use closed forms).
+    accuracy, tile_size, nugget:
+        TLR compression controls (nugget doubles as the measurement-
+        error variance of the statistical model).
+    """
+
+    def __init__(
+        self,
+        locations: np.ndarray,
+        nu: float = 0.5,
+        accuracy: float = 1e-8,
+        tile_size: int | None = None,
+        nugget: float = 1e-4,
+    ) -> None:
+        pts = np.asarray(locations, dtype=DTYPE)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"locations must have shape (n, 3), got {pts.shape}")
+        self._perm = hilbert_order(pts)
+        self.points = pts[self._perm]
+        self.nu = float(nu)
+        self.accuracy = float(accuracy)
+        self.tile_size = (
+            max(32, int(np.sqrt(len(pts)) * 2)) if tile_size is None else tile_size
+        )
+        self.nugget = float(nugget)
+
+    def evaluate(
+        self, z: np.ndarray, length_scale: float
+    ) -> LikelihoodResult:
+        """Evaluate ``l(length_scale)`` for observations ``z``."""
+        z = np.asarray(z, dtype=DTYPE)
+        if z.shape != (len(self.points),):
+            raise ValueError(
+                f"z must have shape ({len(self.points)},), got {z.shape}"
+            )
+        if length_scale <= 0:
+            raise ValueError(f"length_scale must be positive, got {length_scale}")
+        t0 = time.perf_counter()
+        gen = RBFMatrixGenerator(
+            self.points,
+            shape_parameter=length_scale,
+            tile_size=self.tile_size,
+            kernel=MaternKernel(nu=self.nu),
+            nugget=self.nugget,
+        )
+        sigma = TLRMatrix.compress(
+            gen.tile, gen.n, self.tile_size, self.accuracy
+        )
+        factor = tlr_cholesky(sigma).factor
+        ld = logdet(factor)
+        y = solve_lower(factor, z[self._perm])
+        quad = float(y @ y)  # z^T Sigma^-1 z = ||L^-1 z||^2
+        n = len(self.points)
+        ll = -0.5 * (quad + ld + n * np.log(2.0 * np.pi))
+        return LikelihoodResult(
+            log_likelihood=ll,
+            logdet=ld,
+            quadratic_form=quad,
+            seconds=time.perf_counter() - t0,
+        )

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library version and available machine models / configurations.
+``factorize``
+    Real-numerics TLR Cholesky on a synthetic virus workload; prints
+    density, rank statistics, task counts and the factorization
+    residual.
+``simulate``
+    At-scale performance estimation (the analytic model) for a chosen
+    machine, node count and framework configuration.
+``deform``
+    End-to-end RBF mesh deformation demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-sparse TLR Cholesky (HiCMA-PaRSEC reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and model inventory")
+
+    f = sub.add_parser("factorize", help="real-numerics TLR Cholesky demo")
+    f.add_argument("--viruses", type=int, default=4)
+    f.add_argument("--points-per-virus", type=int, default=400)
+    f.add_argument("--tile-size", type=int, default=200)
+    f.add_argument("--accuracy", type=float, default=1e-6)
+    f.add_argument("--shape-multiplier", type=float, default=30.0,
+                   help="shape parameter as a multiple of half min spacing")
+    f.add_argument("--no-trim", action="store_true",
+                   help="disable DAG trimming (Lorapo-style full DAG)")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--trace", type=str, default=None,
+                   help="write a Chrome trace JSON of the execution")
+
+    s = sub.add_parser("simulate", help="at-scale performance estimate")
+    s.add_argument("--machine", choices=["shaheen", "fugaku"], default="shaheen")
+    s.add_argument("--nodes", type=int, default=512)
+    s.add_argument("--matrix-size", type=float, default=2.99e6)
+    s.add_argument("--tile-size", type=int, default=0,
+                   help="0 = the paper's sqrt(N) tuning rule")
+    s.add_argument("--shape", type=float, default=3.7e-4)
+    s.add_argument("--accuracy", type=float, default=1e-4)
+    s.add_argument(
+        "--config",
+        choices=["lorapo", "trim", "band", "hicma"],
+        default="hicma",
+    )
+
+    d = sub.add_parser("deform", help="RBF mesh deformation demo")
+    d.add_argument("--points", type=int, default=1000)
+    d.add_argument("--angle-degrees", type=float, default=5.0)
+    d.add_argument("--accuracy", type=float, default=1e-6)
+
+    t = sub.add_parser("tune", help="model-driven tile-size auto-tuning")
+    t.add_argument("--machine", choices=["shaheen", "fugaku"], default="shaheen")
+    t.add_argument("--nodes", type=int, default=64)
+    t.add_argument("--matrix-size", type=float, default=2.99e6)
+    t.add_argument("--shape", type=float, default=3.7e-4)
+    t.add_argument("--accuracy", type=float, default=1e-4)
+    return p
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro import FUGAKU, SHAHEEN_II
+
+    print(f"repro {repro.__version__} — HiCMA-PaRSEC reproduction (IPDPS'22)")
+    print("\nmachine models:")
+    for m in (SHAHEEN_II, FUGAKU):
+        print(
+            f"  {m.name:12s} {m.cores_per_node} cores/node, "
+            f"{m.core_gemm_flops/1e9:.0f} Gflop/s/core, "
+            f"{m.network_bandwidth/1e9:.1f} GB/s network"
+        )
+    print("\nframework configurations: lorapo, trim, band, hicma")
+    return 0
+
+
+def _cmd_factorize(args) -> int:
+    from repro import (
+        RBFMatrixGenerator,
+        TLRMatrix,
+        min_spacing,
+        tlr_cholesky,
+        virus_population,
+    )
+
+    pts = virus_population(
+        args.viruses, points_per_virus=args.points_per_virus, seed=args.seed
+    )
+    delta = 0.5 * min_spacing(pts) * args.shape_multiplier
+    gen = RBFMatrixGenerator(
+        pts, delta, tile_size=args.tile_size, nugget=100 * args.accuracy
+    )
+    a = TLRMatrix.compress(gen.tile, gen.n, args.tile_size, args.accuracy)
+    stats = a.off_diagonal_rank_stats()
+    print(f"N={gen.n}, NT={a.n_tiles}, density={a.density():.3f}, "
+          f"ranks max/avg {stats['max']:.0f}/{stats['avg']:.1f}")
+    result = tlr_cholesky(a, trim=not args.no_trim)
+    print(f"tasks: {len(result.graph)} {result.graph.task_counts()}")
+    print(f"factorization: {result.elapsed:.3f} s "
+          f"({'trimmed' if not args.no_trim else 'full DAG'})")
+    print(f"residual: {result.residual(gen.dense()):.2e}")
+    if args.trace:
+        result.trace.save_chrome_trace(args.trace)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro import FUGAKU, SHAHEEN_II, AnalyticModel, SyntheticRankField
+    from repro.core.hicma_parsec import BAND_ONLY, HICMA_PARSEC, TRIM_ONLY
+    from repro.core.lorapo import LORAPO
+
+    machine = SHAHEEN_II if args.machine == "shaheen" else FUGAKU
+    config = {
+        "lorapo": LORAPO,
+        "trim": TRIM_ONLY,
+        "band": BAND_ONLY,
+        "hicma": HICMA_PARSEC,
+    }[args.config]
+    n = int(args.matrix_size)
+    b = args.tile_size or max(256, int(2440 * np.sqrt(n / 2.99e6)))
+    field = SyntheticRankField.from_parameters(
+        n, b, shape_parameter=args.shape, accuracy=args.accuracy
+    )
+    r = AnalyticModel(machine, args.nodes, config).factorization_time(field)
+    print(f"{config.name} on {machine.name}, {args.nodes} nodes")
+    print(f"N={n/1e6:.2f}M, tile {b}, NT={field.nt}, "
+          f"density {r.initial_density:.4f} -> {r.final_density:.4f}")
+    print(f"time-to-solution : {r.makespan:10.2f} s")
+    print(f"  critical path  : {r.t_critical_path:10.2f} s")
+    print(f"  work           : {r.t_work:10.2f} s")
+    print(f"  communication  : {r.t_comm:10.2f} s")
+    print(f"tasks            : {r.n_tasks:,} ({r.n_null_tasks:,} null)")
+    print(f"cp efficiency    : {r.cp_efficiency:.1%}")
+    return 0
+
+
+def _cmd_deform(args) -> int:
+    from repro import RBFMeshDeformation, random_cloud, synthetic_virus
+    from repro.apps import rigid_rotation
+
+    boundary = synthetic_virus(n_points=args.points, seed=0)
+    d_b = rigid_rotation(boundary, angle=np.deg2rad(args.angle_degrees))
+    volume = random_cloud(300, extent=0.3, seed=1) - 0.15
+    solver = RBFMeshDeformation(boundary, accuracy=args.accuracy)
+    res = solver.deform(volume, d_b)
+    print(f"boundary points   : {len(boundary)}")
+    print(f"boundary error    : {res.boundary_error:.2e}")
+    print(f"max volume motion : {np.abs(res.volume_displacements).max():.2e}")
+    for k, v in res.timings.items():
+        if isinstance(v, float):
+            print(f"  {k:26s}: {v:.3f}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro import FUGAKU, SHAHEEN_II
+    from repro.core.hicma_parsec import HICMA_PARSEC
+    from repro.machine.autotune import tune_tile_size
+
+    machine = SHAHEEN_II if args.machine == "shaheen" else FUGAKU
+    res = tune_tile_size(
+        machine,
+        args.nodes,
+        HICMA_PARSEC,
+        n=int(args.matrix_size),
+        shape_parameter=args.shape,
+        accuracy=args.accuracy,
+    )
+    print(f"tile-size tuning on {machine.name}, {args.nodes} nodes, "
+          f"N={args.matrix_size/1e6:.2f}M")
+    for b, t in res.evaluations:
+        marker = "  <-- best" if b == res.best_tile_size else ""
+        print(f"  b={b:6d}: {t:10.2f} s{marker}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "factorize":
+        return _cmd_factorize(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "deform":
+        return _cmd_deform(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

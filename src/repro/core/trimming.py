@@ -1,0 +1,135 @@
+"""Enumeration of the tile-Cholesky task graph, full or trimmed.
+
+Without an analysis, the *entire dense DAG* is enumerated — every
+TRSM/SYRK/GEMM instance exists even if it operates on null tiles, and
+the runtime pays task-management, scheduling and dependency-release
+overhead for each (this is Lorapo's behaviour, Section VI).  With a
+:class:`~repro.core.analysis.TrimmingAnalysis`, each task class's
+execution space is restricted to the symbolically non-zero tiles: the
+DAG is *trimmed* and the overhead disappears with the tasks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.analysis import TrimmingAnalysis
+from repro.linalg import flops as fl
+from repro.runtime.scheduler import cholesky_priority
+from repro.runtime.task import Task, make_task
+
+__all__ = ["cholesky_tasks"]
+
+
+def _flops_for(
+    klass: str,
+    params: tuple[int, ...],
+    b: int,
+    rank_of: Callable[[int, int], int],
+) -> float:
+    """Static flop estimate for one task from current rank estimates."""
+    full = b
+
+    def r(m: int, k: int) -> int:
+        return full if m == k else min(int(rank_of(m, k)), full)
+
+    if klass == "POTRF":
+        return fl.potrf_flops(b)
+    if klass == "TRSM":
+        m, k = params
+        rk = r(m, k)
+        if rk == 0:
+            return 0.0
+        return fl.trsm_dense_flops(b) if rk >= full else fl.trsm_tlr_flops(b, rk)
+    if klass == "SYRK":
+        m, k = params
+        rk = r(m, k)
+        if rk == 0:
+            return 0.0
+        return fl.syrk_dense_flops(b) if rk >= full else fl.syrk_tlr_flops(b, rk)
+    if klass == "GEMM":
+        m, n, k = params
+        ka, kb, kc = r(m, k), r(n, k), max(1, r(m, n))
+        if ka == 0 or kb == 0:
+            return 0.0
+        if ka >= full and kb >= full:
+            return fl.gemm_dense_flops(b)
+        return fl.gemm_tlr_flops(b, ka, kb, min(kc, full))
+    raise ValueError(f"unknown task class {klass!r}")
+
+
+def cholesky_tasks(
+    nt: int,
+    analysis: TrimmingAnalysis | None = None,
+    tile_size: int | None = None,
+    rank_of: Callable[[int, int], int] | None = None,
+) -> list[Task]:
+    """Sequential enumeration of tile-Cholesky tasks.
+
+    Parameters
+    ----------
+    nt:
+        Number of tile rows/columns.
+    analysis:
+        If given, trim execution spaces to symbolically non-zero tiles
+        (Section VI); otherwise enumerate the full dense DAG.
+    tile_size, rank_of:
+        Optional flop-estimation inputs: tile edge ``b`` and a rank
+        lookup ``rank_of(m, k)`` (e.g. from the compressed matrix's
+        initial ranks or the synthetic rank field).  Without them all
+        tasks carry ``flops=0``.
+
+    Returns
+    -------
+    Tasks in the canonical right-looking order, with PaRSEC-style
+    Cholesky priorities attached.
+    """
+    if nt < 1:
+        raise ValueError(f"nt must be >= 1, got {nt}")
+    if analysis is not None and analysis.nt != nt:
+        raise ValueError(f"analysis.nt={analysis.nt} != nt={nt}")
+
+    estimate = tile_size is not None and rank_of is not None
+
+    def mk(klass: str, params: tuple[int, ...], **kw) -> Task:
+        t = make_task(klass, params, **kw)
+        fls = _flops_for(klass, params, tile_size, rank_of) if estimate else 0.0
+        return Task(
+            t.klass,
+            t.params,
+            t.accesses,
+            priority=cholesky_priority(t, nt),
+            flops=fls,
+        )
+
+    tasks: list[Task] = []
+    for k in range(nt):
+        tasks.append(mk("POTRF", (k,), rw=[(k, k)]))
+        if analysis is None:
+            trsm_rows = list(range(k + 1, nt))
+        else:
+            trsm_rows = analysis.trsm_rows(k)
+        for m in trsm_rows:
+            tasks.append(mk("TRSM", (m, k), reads=[(k, k)], rw=[(m, k)]))
+        for m in trsm_rows:
+            tasks.append(mk("SYRK", (m, k), reads=[(m, k)], rw=[(m, m)]))
+        # GEMM execution space: all (m, n) pairs in the untrimmed DAG,
+        # only pairs of non-zero panel tiles when trimmed.
+        if analysis is None:
+            for i in range(1, len(trsm_rows)):
+                m = trsm_rows[i]
+                for j in range(i):
+                    n = trsm_rows[j]
+                    tasks.append(
+                        mk("GEMM", (m, n, k), reads=[(m, k), (n, k)], rw=[(m, n)])
+                    )
+        else:
+            rows = trsm_rows
+            for i in range(1, len(rows)):
+                m = rows[i]
+                for j in range(i):
+                    n = rows[j]
+                    tasks.append(
+                        mk("GEMM", (m, n, k), reads=[(m, k), (n, k)], rw=[(m, n)])
+                    )
+    return tasks

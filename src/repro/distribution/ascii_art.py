@@ -1,0 +1,28 @@
+"""ASCII rendering of tile-owner maps (reproduces the paper's Fig. 3).
+
+Each lower-triangle tile is printed as its owning process id; upper
+triangle is blank.  Useful to eyeball the band/diamond shapes and in
+the Fig. 3 regeneration benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.distribution.base import Distribution
+
+__all__ = ["owner_map_ascii"]
+
+
+def owner_map_ascii(dist: Distribution, nt: int, cell_width: int = 2) -> str:
+    """Render the owner map of the lower triangle as text."""
+    if nt < 1:
+        raise ValueError(f"nt must be >= 1, got {nt}")
+    lines = []
+    for m in range(nt):
+        cells = []
+        for k in range(nt):
+            if k > m:
+                cells.append(" " * cell_width)
+            else:
+                cells.append(str(dist.owner(m, k)).rjust(cell_width))
+        lines.append(" ".join(cells).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Greedy rank-aware distribution — an extension beyond the paper.
+
+The diamond distribution (Sec. VII-B) is *statically* rank-aware: it
+exploits the average decay of rank with diagonal distance.  When an
+actual rank field is available (after compression), one can do
+better: assign each tile's execution to the least-loaded process,
+sweeping tiles in decreasing-work order, while keeping each panel
+column on its 2DBCDD process column so the column-broadcast group
+stays bounded — the property the paper insists on.
+
+This is offered as an ablation (`benchmarks/test_ablation_greedy.py`)
+quantifying how much headroom is left beyond the static diamond.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.utils.validation import check_positive
+
+__all__ = ["GreedyRankAware"]
+
+
+class GreedyRankAware(Distribution):
+    """Work-balancing assignment built from a per-tile work estimate.
+
+    Parameters
+    ----------
+    p, q:
+        Process grid; tiles in panel column ``k`` may only be assigned
+        to processes in grid column ``k mod q`` (preserving the
+        column-group bound of at most ``p`` processes).
+    weights:
+        ``(NT, NT)`` per-tile work estimates (lower triangle read);
+        e.g. squared ranks or model flop counts.
+    """
+
+    def __init__(self, p: int, q: int, weights: np.ndarray) -> None:
+        check_positive("p", p)
+        check_positive("q", q)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+            raise ValueError(f"weights must be square, got {weights.shape}")
+        self.p = int(p)
+        self.q = int(q)
+        self.nproc = self.p * self.q
+        nt = weights.shape[0]
+        self.nt = nt
+
+        load = np.zeros(self.nproc)
+        owner = np.full((nt, nt), -1, dtype=np.int64)
+        # heaviest tiles first
+        order = [
+            (m, k)
+            for k in range(nt)
+            for m in range(k, nt)
+        ]
+        order.sort(key=lambda mk: -weights[mk[0], mk[1]])
+        for m, k in order:
+            col = k % self.q
+            candidates = [r * self.q + col for r in range(self.p)]
+            best = min(candidates, key=lambda pr: load[pr])
+            owner[m, k] = best
+            load[best] += max(float(weights[m, k]), 0.0)
+        self._owner = owner
+        self.load = load
+
+    def owner(self, m: int, k: int) -> int:
+        if k > m or k < 0:
+            raise IndexError(f"tile ({m}, {k}) outside lower triangle")
+        if m >= self.nt:
+            raise IndexError(f"tile ({m}, {k}) outside the {self.nt}-tile grid")
+        return int(self._owner[m, k])
+
+    def owner_vec(self, m, k):
+        m = np.asarray(m, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        return self._owner[m, k]
+
+    def __repr__(self) -> str:
+        return f"GreedyRankAware(p={self.p}, q={self.q}, nt={self.nt})"

@@ -1,0 +1,19 @@
+"""Point-cloud geometry for the RBF mesh-deformation application."""
+
+from repro.geometry.pointclouds import (
+    fibonacci_sphere,
+    min_spacing,
+    random_cloud,
+    regular_grid,
+)
+from repro.geometry.population import virus_population
+from repro.geometry.virus import synthetic_virus
+
+__all__ = [
+    "fibonacci_sphere",
+    "min_spacing",
+    "random_cloud",
+    "regular_grid",
+    "synthetic_virus",
+    "virus_population",
+]

@@ -1,0 +1,111 @@
+"""Virus population in a cube — the paper's evaluation workload.
+
+Section VIII-A: "We vary the number of viruses in a cube with edge
+length 1.7 um from 30 (i.e., 1.49M mesh points) to 1200 (i.e.,
+52.57M)."  Each virion contributes 44,932 mesh points; virions are
+placed at non-overlapping random positions, and the combined point
+cloud is reordered along the Hilbert curve (Sec. IV-C).
+
+At laptop scale the same generator is used with a reduced per-virion
+resolution; the geometry *statistics* (packing fraction, cluster
+diameter relative to cube edge) are preserved by scaling the virion
+diameter with the cube edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.virus import VIRUS_DIAMETER, synthetic_virus
+from repro.utils.hilbert import hilbert_order
+from repro.utils.validation import check_positive
+
+__all__ = ["virus_population", "CUBE_EDGE"]
+
+#: Edge length of the enclosing cube in micrometres (paper: 1.7 um).
+CUBE_EDGE = 1.7
+
+
+def virus_population(
+    n_viruses: int,
+    points_per_virus: int = 44932,
+    cube_edge: float = CUBE_EDGE,
+    virus_diameter: float = VIRUS_DIAMETER,
+    reorder: bool = True,
+    seed: int | None = 0,
+    max_placement_tries: int = 10000,
+) -> np.ndarray:
+    """Point cloud of ``n_viruses`` virions packed in a cube.
+
+    Virion centers are drawn uniformly at random subject to a
+    non-overlap constraint (center separation > one spiked diameter).
+
+    Parameters
+    ----------
+    n_viruses:
+        Number of virions (paper: 30 .. 1200).
+    points_per_virus:
+        Boundary points per virion (paper: 44,932; use smaller values
+        for laptop-scale runs).
+    cube_edge:
+        Cube edge length.
+    virus_diameter:
+        Capsid diameter; must allow ``n_viruses`` non-overlapping
+        placements inside the cube.
+    reorder:
+        Apply the Hilbert space-filling-curve permutation (Sec. IV-C).
+    seed:
+        RNG seed for placement and spike geometry.
+    max_placement_tries:
+        Rejection-sampling budget per virion.
+
+    Returns
+    -------
+    ``(n_viruses * points_per_virus, 3)`` float64 array.
+    """
+    check_positive("n_viruses", n_viruses)
+    check_positive("points_per_virus", points_per_virus)
+    check_positive("cube_edge", cube_edge)
+    check_positive("virus_diameter", virus_diameter)
+
+    rng = np.random.default_rng(seed)
+    # Spikes extend ~25% past the capsid radius; keep that margin.
+    spiked_radius = 0.5 * virus_diameter * 1.30
+    if 2.0 * spiked_radius >= cube_edge:
+        raise ValueError(
+            f"virus diameter {virus_diameter} does not fit cube edge {cube_edge}"
+        )
+    lo, hi = spiked_radius, cube_edge - spiked_radius
+
+    centers = np.empty((n_viruses, 3))
+    placed = 0
+    tries = 0
+    min_sep2 = (2.0 * spiked_radius) ** 2
+    while placed < n_viruses:
+        if tries >= max_placement_tries * n_viruses:
+            raise RuntimeError(
+                f"could not place {n_viruses} virions of diameter "
+                f"{virus_diameter} in a cube of edge {cube_edge}"
+            )
+        tries += 1
+        cand = lo + (hi - lo) * rng.random(3)
+        if placed and np.min(
+            np.sum((centers[:placed] - cand) ** 2, axis=1)
+        ) < min_sep2:
+            continue
+        centers[placed] = cand
+        placed += 1
+
+    clouds = [
+        synthetic_virus(
+            n_points=points_per_virus,
+            diameter=virus_diameter,
+            center=centers[v],
+            seed=None if seed is None else seed + 1 + v,
+        )
+        for v in range(n_viruses)
+    ]
+    points = np.vstack(clouds)
+    if reorder:
+        points = points[hilbert_order(points)]
+    return points

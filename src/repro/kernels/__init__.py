@@ -1,0 +1,33 @@
+"""Matrix-entry kernels: radial basis functions, Matern covariances,
+and tile-wise operator generation."""
+
+from repro.kernels.covariance import (
+    MaternKernel,
+    matern_five_half,
+    matern_half,
+    matern_three_half,
+)
+from repro.kernels.matgen import RBFMatrixGenerator, dense_rbf_matrix
+from repro.kernels.rbf import (
+    GaussianRBF,
+    InverseMultiquadricRBF,
+    MultiquadricRBF,
+    RadialBasisFunction,
+    ThinPlateSplineRBF,
+    WendlandC2RBF,
+)
+
+__all__ = [
+    "RadialBasisFunction",
+    "GaussianRBF",
+    "MultiquadricRBF",
+    "InverseMultiquadricRBF",
+    "ThinPlateSplineRBF",
+    "WendlandC2RBF",
+    "RBFMatrixGenerator",
+    "dense_rbf_matrix",
+    "MaternKernel",
+    "matern_half",
+    "matern_three_half",
+    "matern_five_half",
+]

@@ -1,0 +1,110 @@
+"""Radial basis functions (Section IV-C).
+
+The paper focuses on the *globally supported* Gaussian RBF
+``phi(r) = exp(-r^2)`` scaled by a shape parameter ``delta``:
+``phi_delta(r) = phi(r / delta)``.  Global support makes the operator
+formally dense; the shape parameter controls correlation strength and
+thus the compressed operator's density (Fig. 1, Fig. 4).
+
+Additional classic kernels are provided for completeness and for
+ablation: multiquadric / inverse multiquadric / thin-plate spline
+(global support) and Wendland C2 (compact support — exactly zero
+outside the support radius, giving a *sparse* operator directly).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RadialBasisFunction",
+    "GaussianRBF",
+    "MultiquadricRBF",
+    "InverseMultiquadricRBF",
+    "ThinPlateSplineRBF",
+    "WendlandC2RBF",
+]
+
+
+class RadialBasisFunction(ABC):
+    """A scalar radial kernel ``phi(r)`` with a shape parameter."""
+
+    #: True if phi is positive definite, i.e. the pure RBF matrix is SPD
+    #: and Cholesky applies without polynomial augmentation.
+    positive_definite: bool = False
+
+    #: True if phi has compact support (zero beyond the support radius).
+    compact_support: bool = False
+
+    @abstractmethod
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        """Evaluate ``phi`` elementwise on non-negative distances."""
+
+    def scaled(self, r: np.ndarray, delta: float) -> np.ndarray:
+        """The scaled kernel ``phi_delta(r) = phi(r / delta)``."""
+        if delta <= 0.0:
+            raise ValueError(f"shape parameter must be positive, got {delta}")
+        return self(np.asarray(r, dtype=np.float64) / delta)
+
+
+@dataclass(frozen=True)
+class GaussianRBF(RadialBasisFunction):
+    """Gaussian kernel ``exp(-r^2)`` — the paper's kernel."""
+
+    positive_definite = True
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        return np.exp(-(r * r))
+
+
+@dataclass(frozen=True)
+class MultiquadricRBF(RadialBasisFunction):
+    """Multiquadric ``sqrt(1 + r^2)`` (conditionally positive definite)."""
+
+    positive_definite = False
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        return np.sqrt(1.0 + r * r)
+
+
+@dataclass(frozen=True)
+class InverseMultiquadricRBF(RadialBasisFunction):
+    """Inverse multiquadric ``1 / sqrt(1 + r^2)`` (positive definite)."""
+
+    positive_definite = True
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        return 1.0 / np.sqrt(1.0 + r * r)
+
+
+@dataclass(frozen=True)
+class ThinPlateSplineRBF(RadialBasisFunction):
+    """Thin-plate spline ``r^2 log r`` (conditionally positive definite)."""
+
+    positive_definite = False
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        out = np.zeros_like(r)
+        nz = r > 0.0
+        out[nz] = r[nz] * r[nz] * np.log(r[nz])
+        return out
+
+
+@dataclass(frozen=True)
+class WendlandC2RBF(RadialBasisFunction):
+    """Wendland C2 ``(1-r)^4_+ (4r+1)`` — compactly supported, SPD in 3D."""
+
+    positive_definite = True
+    compact_support = True
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        base = np.maximum(0.0, 1.0 - r)
+        return base**4 * (4.0 * r + 1.0)

@@ -1,0 +1,92 @@
+"""Floating-point operation counts for dense and TLR tile kernels.
+
+These formulas drive three things: the simulator's task-duration model
+(:mod:`repro.machine.costmodel`), the critical-path roofline of
+Fig. 13, and the tile-size trade-off analysis of Fig. 5.  Dense counts
+follow the standard LAPACK accounting; TLR counts follow the HiCMA
+kernel decompositions (see kernels_tlr.py for the algebra).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "potrf_flops",
+    "trsm_dense_flops",
+    "trsm_tlr_flops",
+    "syrk_dense_flops",
+    "syrk_tlr_flops",
+    "gemm_dense_flops",
+    "gemm_tlr_flops",
+    "compression_flops",
+]
+
+
+def potrf_flops(b: int) -> float:
+    """Cholesky of a ``b x b`` block: ``b^3/3 + b^2/2 + b/6``."""
+    return b**3 / 3.0 + b**2 / 2.0 + b / 6.0
+
+
+def trsm_dense_flops(b: int, ncols: int | None = None) -> float:
+    """Triangular solve with ``ncols`` right-hand sides (default b)."""
+    n = b if ncols is None else ncols
+    return float(b * b * n)
+
+
+def trsm_tlr_flops(b: int, k: int) -> float:
+    """TLR TRSM touches only the ``b x k`` V factor."""
+    return float(b * b * k)
+
+
+def syrk_dense_flops(b: int) -> float:
+    """Dense SYRK ``C - A A^T``: ``b^2 (b + 1)``."""
+    return float(b * b * (b + 1))
+
+
+def syrk_tlr_flops(b: int, k: int) -> float:
+    """TLR SYRK ``C - U (V^T V) U^T``.
+
+    ``V^T V`` costs ``2 b k^2``; ``U W`` costs ``2 b k^2``;
+    ``(U W) U^T`` costs ``2 b^2 k``.
+    """
+    return 4.0 * b * k * k + 2.0 * b * b * k
+
+
+def gemm_dense_flops(b: int) -> float:
+    """Dense GEMM ``C - A B^T`` on ``b x b`` tiles: ``2 b^3``."""
+    return 2.0 * float(b) ** 3
+
+
+def gemm_tlr_flops(b: int, ka: int, kb: int, kc: int) -> float:
+    """TLR GEMM with QR+SVD recompression.
+
+    Product factors: ``W = Va^T Vb`` (``2 b ka kb``) plus folding W into
+    the thinner side (``2 b ka kb``).  The accumulated factor pair has
+    rank ``K = kc + min(ka, kb)``; rounding costs two economy QRs
+    (``~2 b K^2`` each, keeping the dominant term), one small SVD
+    (``~22 K^3``) and two factor rebuilds (``~2 b K k_new`` each, with
+    ``k_new ~ kc``).
+    """
+    if ka == 0 or kb == 0:
+        return 0.0
+    kp = min(ka, kb)
+    product = 4.0 * b * ka * kb
+    big_k = kc + kp
+    qr = 2.0 * 2.0 * b * big_k * big_k
+    svd = 22.0 * float(big_k) ** 3
+    rebuild = 2.0 * 2.0 * b * big_k * max(kc, 1)
+    return product + qr + svd + rebuild
+
+
+def compression_flops(b: int, rank: int | None = None) -> float:
+    """Compression of one dense ``b x b`` tile.
+
+    With ``rank`` given: rank-revealing QR compression to rank ``k``
+    (partial GEQP3 with trailing updates and re-orthogonalization,
+    ``~24 b^2 k`` — the HiCMA-class production path).  Without it: a
+    full SVD, ``~22 b^3`` (the naive path).  Used for the
+    time-breakdown experiment (Fig. 11), where matrix compression
+    dominates once the factorization is optimized.
+    """
+    if rank is None:
+        return 22.0 * float(b) ** 3
+    return 24.0 * float(b) ** 2 * max(rank, 1)

@@ -1,0 +1,147 @@
+"""General (non-symmetric) TLR tile-matrix container.
+
+The Cholesky path stores only the lower triangle; the LU path (the
+framework generality demonstrated by the HiCMA group's acoustic-BEM
+work, ref. [11] of the paper) needs the full tile grid.  Tiles use
+the same dense / low-rank / null taxonomy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.config import DENSE_RANK_FRACTION, DTYPE
+from repro.linalg.lowrank import compress_block
+from repro.linalg.tile import DenseTile, Tile, as_tile
+from repro.utils.validation import check_positive, check_square_matrix
+
+__all__ = ["GeneralTLRMatrix"]
+
+
+class GeneralTLRMatrix:
+    """Full tile grid of a square TLR matrix (LU-oriented)."""
+
+    def __init__(
+        self,
+        n: int,
+        tile_size: int,
+        tiles: dict[tuple[int, int], Tile],
+        accuracy: float,
+        max_rank: int | None = None,
+    ) -> None:
+        check_positive("n", n)
+        check_positive("tile_size", tile_size)
+        check_positive("accuracy", accuracy)
+        self.n = int(n)
+        self.tile_size = int(tile_size)
+        self.accuracy = float(accuracy)
+        self.max_rank = max_rank
+        self._tiles = tiles
+        nt = self.n_tiles
+        for i in range(nt):
+            for j in range(nt):
+                if (i, j) not in tiles:
+                    raise ValueError(f"missing tile ({i}, {j})")
+
+    @classmethod
+    def compress(
+        cls,
+        tile_source: Callable[[int, int], np.ndarray],
+        n: int,
+        tile_size: int,
+        accuracy: float,
+        max_rank: int | None = None,
+    ) -> "GeneralTLRMatrix":
+        """Compress a square operator given a dense tile generator."""
+        if max_rank is None:
+            max_rank = max(1, int(DENSE_RANK_FRACTION * tile_size))
+        nt = -(-n // tile_size)
+        tiles: dict[tuple[int, int], Tile] = {}
+        for i in range(nt):
+            for j in range(nt):
+                block = np.asarray(tile_source(i, j), dtype=DTYPE)
+                if i == j:
+                    tiles[(i, j)] = DenseTile(block)
+                else:
+                    tiles[(i, j)] = as_tile(
+                        compress_block(block, accuracy, max_rank=max_rank),
+                        block.shape,
+                    )
+        return cls(n, tile_size, tiles, accuracy, max_rank)
+
+    @classmethod
+    def from_dense(
+        cls, a: np.ndarray, tile_size: int, accuracy: float,
+        max_rank: int | None = None,
+    ) -> "GeneralTLRMatrix":
+        check_square_matrix("a", a)
+        a = np.asarray(a, dtype=DTYPE)
+        b = tile_size
+
+        def source(i: int, j: int) -> np.ndarray:
+            return a[i * b : (i + 1) * b, j * b : (j + 1) * b]
+
+        return cls.compress(source, a.shape[0], tile_size, accuracy, max_rank)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_tiles(self) -> int:
+        return -(-self.n // self.tile_size)
+
+    def tile(self, i: int, j: int) -> Tile:
+        return self._tiles[(i, j)]
+
+    def set_tile(self, i: int, j: int, tile: Tile) -> None:
+        if (i, j) not in self._tiles:
+            raise KeyError(f"tile {(i, j)} out of range")
+        if tile.shape != self._tiles[(i, j)].shape:
+            raise ValueError(
+                f"tile ({i}, {j}) shape {tile.shape} != "
+                f"{self._tiles[(i, j)].shape}"
+            )
+        self._tiles[(i, j)] = tile
+
+    def __iter__(self):
+        return iter(self._tiles.items())
+
+    def rank_matrix(self) -> np.ndarray:
+        nt = self.n_tiles
+        out = np.zeros((nt, nt), dtype=np.int64)
+        for (i, j), t in self._tiles.items():
+            out[i, j] = t.rank
+        return out
+
+    def density(self) -> float:
+        """Non-null ratio over off-diagonal tiles."""
+        nt = self.n_tiles
+        off = [(i, j) for i in range(nt) for j in range(nt) if i != j]
+        if not off:
+            return 1.0
+        return sum(1 for ij in off if not self._tiles[ij].is_null) / len(off)
+
+    def memory_bytes(self) -> int:
+        return sum(t.nbytes for t in self._tiles.values())
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros((self.n, self.n), dtype=DTYPE)
+        b = self.tile_size
+        for (i, j), t in self._tiles.items():
+            block = t.to_dense()
+            out[i * b : i * b + block.shape[0], j * b : j * b + block.shape[1]] = (
+                block
+            )
+        return out
+
+    def copy(self) -> "GeneralTLRMatrix":
+        return GeneralTLRMatrix(
+            self.n, self.tile_size, dict(self._tiles), self.accuracy, self.max_rank
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralTLRMatrix(n={self.n}, tile_size={self.tile_size}, "
+            f"NT={self.n_tiles}, density={self.density():.3f})"
+        )

@@ -1,0 +1,57 @@
+"""Dense tile kernels: POTRF, TRSM, SYRK, GEMM.
+
+These are the four kernels of tile Cholesky (Section IV-B) in their
+dense form, applied to raw ndarrays.  The TLR variants in
+:mod:`repro.linalg.kernels_tlr` dispatch to these when operands are
+dense tiles.
+
+Conventions (lower-triangular Cholesky, right-looking):
+
+* ``potrf``:  ``A[k,k] = L[k,k] @ L[k,k].T``
+* ``trsm``:   ``A[m,k] <- A[m,k] @ L[k,k]^-T``
+* ``syrk``:   ``A[m,m] <- A[m,m] - A[m,k] @ A[m,k].T``
+* ``gemm``:   ``A[m,n] <- A[m,n] - A[m,k] @ A[n,k].T``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = ["potrf", "trsm", "syrk", "gemm"]
+
+
+def potrf(a: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of an SPD block.
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        If the block is not numerically positive definite (e.g. the
+        accuracy threshold was too loose for this operator).
+    """
+    try:
+        return sla.cholesky(a, lower=True, check_finite=False)
+    except sla.LinAlgError as exc:  # normalize exception type for callers
+        raise np.linalg.LinAlgError(str(exc)) from exc
+
+
+def trsm(l_kk: np.ndarray, a_mk: np.ndarray) -> np.ndarray:
+    """Right triangular solve ``A[m,k] @ L[k,k]^-T``.
+
+    Implemented as ``(L^-1 A^T)^T`` so SciPy's left-solve BLAS path is
+    used on contiguous data.
+    """
+    return sla.solve_triangular(
+        l_kk, a_mk.T, lower=True, trans="N", check_finite=False
+    ).T
+
+
+def syrk(c_mm: np.ndarray, a_mk: np.ndarray) -> np.ndarray:
+    """Symmetric rank-b update ``C - A @ A.T`` (returns a new array)."""
+    return c_mm - a_mk @ a_mk.T
+
+
+def gemm(c_mn: np.ndarray, a_mk: np.ndarray, b_nk: np.ndarray) -> np.ndarray:
+    """General update ``C - A @ B.T`` (returns a new array)."""
+    return c_mn - a_mk @ b_nk.T

@@ -1,0 +1,168 @@
+"""TLR LU tile kernels (no pivoting across tiles).
+
+Tile LU generalizes the Cholesky path to non-symmetric operators —
+the setting of the HiCMA group's acoustic-BEM solver (paper ref.
+[11]).  Like that work (and all tile-LU codes), pivoting is confined
+to nothing at all: BEM/RBF operators are diagonally dominated enough
+that the non-pivoted factorization is stable, and the tile structure
+is preserved.
+
+Kernels (right-looking, ``A = L U`` with unit-lower L):
+
+* ``getrf``:   ``A[k,k] -> (L[k,k], U[k,k])`` packed in one tile
+* ``trsm_l``:  ``A[m,k] <- A[m,k] @ U[k,k]^-1``   (left panel)
+* ``trsm_u``:  ``A[k,n] <- L[k,k]^-1 @ A[k,n]``   (top panel)
+* ``gemm_lu``: ``A[m,n] <- A[m,n] - A[m,k] @ A[k,n]``
+
+Low-rank algebra: with ``A = Ua Va^T``,
+``A U^-1 = Ua (U^-T Va)^T`` and ``L^-1 A = (L^-1 Ua) Va^T`` — TRSMs
+touch a single skinny factor, exactly as in the Cholesky path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.linalg.lowrank import LowRankFactor, compress_block, recompress
+from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile, as_tile
+
+__all__ = ["getrf_tile", "trsm_l_tile", "trsm_u_tile", "gemm_lu_tile"]
+
+
+def _unpivoted_lu(a: np.ndarray) -> np.ndarray:
+    """Packed non-pivoted LU (Doolittle): L strictly below the
+    diagonal (unit diagonal implied), U on and above.
+
+    Raises ``LinAlgError`` on a (numerically) zero pivot.
+    """
+    lu = np.array(a, dtype=np.float64, copy=True)
+    n = lu.shape[0]
+    scale = np.abs(lu).max() or 1.0
+    for k in range(n - 1):
+        piv = lu[k, k]
+        if abs(piv) <= 1e-14 * scale:
+            raise np.linalg.LinAlgError(
+                f"zero pivot at position {k}: non-pivoted LU failed"
+            )
+        lu[k + 1 :, k] /= piv
+        lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
+    if abs(lu[n - 1, n - 1]) <= 1e-14 * scale:
+        raise np.linalg.LinAlgError(f"zero pivot at position {n - 1}")
+    return lu
+
+
+def getrf_tile(a_kk: Tile) -> DenseTile:
+    """Factor a diagonal tile; result holds packed L\\U."""
+    if not isinstance(a_kk, DenseTile):
+        raise TypeError(
+            f"diagonal tiles must be dense for GETRF, got {a_kk.kind.value}"
+        )
+    return DenseTile(_unpivoted_lu(a_kk.data))
+
+
+def _upper(lu: np.ndarray) -> np.ndarray:
+    return np.triu(lu)
+
+
+def _lower_unit(lu: np.ndarray) -> np.ndarray:
+    return np.tril(lu, -1) + np.eye(lu.shape[0])
+
+
+def trsm_l_tile(lu_kk: DenseTile, a_mk: Tile) -> Tile:
+    """Left panel: ``A[m,k] <- A[m,k] @ U[k,k]^-1``."""
+    u = lu_kk.data  # upper triangle used
+    if isinstance(a_mk, NullTile):
+        return a_mk
+    if isinstance(a_mk, LowRankTile):
+        # (Ua Va^T) U^-1 = Ua (U^-T Va)^T
+        new_v = sla.solve_triangular(
+            u, a_mk.v, lower=False, trans="T", check_finite=False
+        )
+        return LowRankTile(LowRankFactor(a_mk.u.copy(), new_v))
+    out = sla.solve_triangular(
+        u, a_mk.data.T, lower=False, trans="T", check_finite=False
+    ).T
+    return DenseTile(np.ascontiguousarray(out))
+
+
+def trsm_u_tile(lu_kk: DenseTile, a_kn: Tile) -> Tile:
+    """Top panel: ``A[k,n] <- L[k,k]^-1 @ A[k,n]`` (unit-lower L)."""
+    l_full = lu_kk.data  # strict lower + unit diagonal used
+    if isinstance(a_kn, NullTile):
+        return a_kn
+    if isinstance(a_kn, LowRankTile):
+        new_u = sla.solve_triangular(
+            l_full, a_kn.u, lower=True, trans="N", unit_diagonal=True,
+            check_finite=False,
+        )
+        return LowRankTile(LowRankFactor(new_u, a_kn.v.copy()))
+    out = sla.solve_triangular(
+        l_full, a_kn.data, lower=True, trans="N", unit_diagonal=True,
+        check_finite=False,
+    )
+    return DenseTile(np.ascontiguousarray(out))
+
+
+def _product(a: Tile, b: Tile) -> LowRankFactor | np.ndarray | None:
+    """``A[m,k] @ A[k,n]`` (None if either operand is null)."""
+    if isinstance(a, NullTile) or isinstance(b, NullTile):
+        return None
+    a_lr = isinstance(a, LowRankTile)
+    b_lr = isinstance(b, LowRankTile)
+    if a_lr and b_lr:
+        w = a.v.T @ b.u  # ka x kb
+        if a.rank <= b.rank:
+            return LowRankFactor(a.u.copy(), b.v @ w.T)
+        return LowRankFactor(a.u @ w, b.v.copy())
+    if a_lr:
+        # Ua Va^T B = Ua (B^T Va)^T
+        return LowRankFactor(a.u.copy(), b.data.T @ a.v)
+    if b_lr:
+        return LowRankFactor(a.data @ b.u, b.v.copy())
+    return a.data @ b.data
+
+
+def gemm_lu_tile(
+    c_mn: Tile,
+    a_mk: Tile,
+    b_kn: Tile,
+    tol: float,
+    max_rank: int | None = None,
+) -> Tile:
+    """``A[m,n] <- A[m,n] - A[m,k] @ A[k,n]`` with recompression."""
+    product = _product(a_mk, b_kn)
+    if product is None:
+        return c_mn
+    shape = c_mn.shape
+
+    if isinstance(product, np.ndarray):
+        dense = (
+            c_mn.to_dense() - product
+            if not isinstance(c_mn, NullTile)
+            else -product
+        )
+        if isinstance(c_mn, DenseTile):
+            return DenseTile(dense)
+        return as_tile(compress_block(dense, tol, max_rank=max_rank), shape)
+
+    if isinstance(c_mn, DenseTile):
+        return DenseTile(c_mn.data - product.u @ product.v.T)
+
+    if isinstance(c_mn, NullTile):
+        stacked = LowRankFactor(-product.u, product.v)
+    else:
+        stacked = LowRankFactor(
+            np.hstack([c_mn.u, -product.u]),
+            np.hstack([c_mn.v, product.v]),
+        )
+    if stacked.rank >= min(shape):
+        return as_tile(
+            compress_block(stacked.to_dense(), tol, max_rank=max_rank), shape
+        )
+    rounded = recompress(stacked, tol)
+    if rounded is None:
+        return NullTile(shape)
+    if max_rank is not None and rounded.rank > max_rank:
+        return DenseTile(rounded.to_dense())
+    return LowRankTile(rounded)

@@ -1,0 +1,148 @@
+"""TLR tile kernels: POTRF / TRSM / SYRK / GEMM over mixed tiles.
+
+Each kernel accepts :class:`~repro.linalg.tile.Tile` operands in any of
+the three representations (dense / low-rank / null) and returns a new
+tile — this is the "mixture of data structures within a single matrix
+operation" that the paper's framework supports (Section III).
+
+Algebra for the low-rank paths (``A = Ua Va^T``, ``B = Ub Vb^T``):
+
+* TRSM  ``A L^-T = Ua (L^-1 Va)^T``            — touches only V.
+* SYRK  ``C - A A^T = C - Ua (Va^T Va) Ua^T``   — small k×k core.
+* GEMM  ``A B^T = Ua (Va^T Vb) Ub^T``           — fold the core into
+  the thinner side, then accumulate into C's factors and recompress.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.linalg.lowrank import LowRankFactor, compress_block, recompress
+from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
+
+__all__ = ["potrf_tile", "trsm_tile", "syrk_tile", "gemm_tile"]
+
+
+def potrf_tile(a_kk: Tile) -> DenseTile:
+    """Cholesky of a diagonal tile (always dense in TLR Cholesky)."""
+    if not isinstance(a_kk, DenseTile):
+        raise TypeError(
+            f"diagonal tiles must be dense for POTRF, got {a_kk.kind.value}"
+        )
+    try:
+        l_kk = sla.cholesky(a_kk.data, lower=True, check_finite=False)
+    except sla.LinAlgError as exc:
+        raise np.linalg.LinAlgError(str(exc)) from exc
+    return DenseTile(l_kk)
+
+
+def trsm_tile(l_kk: DenseTile, a_mk: Tile) -> Tile:
+    """``A[m,k] <- A[m,k] @ L[k,k]^-T`` preserving the representation."""
+    if not isinstance(l_kk, DenseTile):
+        raise TypeError(f"TRSM needs a dense L factor, got {l_kk.kind.value}")
+    if isinstance(a_mk, NullTile):
+        return a_mk
+    if isinstance(a_mk, LowRankTile):
+        # (U V^T) L^-T = U (L^-1 V)^T : solve L X = V for the new V.
+        new_v = sla.solve_triangular(
+            l_kk.data, a_mk.v, lower=True, trans="N", check_finite=False
+        )
+        return LowRankTile(LowRankFactor(a_mk.u.copy(), new_v))
+    new = sla.solve_triangular(
+        l_kk.data, a_mk.data.T, lower=True, trans="N", check_finite=False
+    ).T
+    return DenseTile(np.ascontiguousarray(new))
+
+
+def syrk_tile(c_mm: DenseTile, a_mk: Tile) -> DenseTile:
+    """``C[m,m] <- C[m,m] - A[m,k] A[m,k]^T`` (diagonal stays dense)."""
+    if not isinstance(c_mm, DenseTile):
+        raise TypeError(f"SYRK target must be dense, got {c_mm.kind.value}")
+    if isinstance(a_mk, NullTile):
+        return c_mm
+    if isinstance(a_mk, LowRankTile):
+        w = a_mk.v.T @ a_mk.v  # k x k core
+        return DenseTile(c_mm.data - (a_mk.u @ w) @ a_mk.u.T)
+    return DenseTile(c_mm.data - a_mk.data @ a_mk.data.T)
+
+
+def _product_factor(a: Tile, b: Tile) -> LowRankFactor | np.ndarray | None:
+    """Representation of ``A @ B.T`` (None if either operand is null).
+
+    When either operand is low-rank the product is low-rank with rank
+    ``min(rank(A), rank(B))``; the small core is folded into the
+    thinner side so the returned factors carry the minimal rank.
+    """
+    if isinstance(a, NullTile) or isinstance(b, NullTile):
+        return None
+    a_lr = isinstance(a, LowRankTile)
+    b_lr = isinstance(b, LowRankTile)
+    if a_lr and b_lr:
+        w = a.v.T @ b.v  # ka x kb
+        if a.rank <= b.rank:
+            return LowRankFactor(a.u.copy(), b.u @ w.T)
+        return LowRankFactor(a.u @ w, b.u.copy())
+    if a_lr:
+        # Ua Va^T B^T = Ua (B Va)^T
+        return LowRankFactor(a.u.copy(), b.data @ a.v)
+    if b_lr:
+        # A (Ub Vb^T)^T = (A Vb) Ub^T
+        return LowRankFactor(a.data @ b.v, b.u.copy())
+    return a.data @ b.data.T
+
+
+def gemm_tile(
+    c_mn: Tile,
+    a_mk: Tile,
+    b_nk: Tile,
+    tol: float,
+    max_rank: int | None = None,
+) -> Tile:
+    """``C[m,n] <- C[m,n] - A[m,k] @ B[n,k]^T`` with recompression.
+
+    This kernel is where *fill-in* happens: a null C becomes non-null
+    when both operands are non-null, and where rank growth is rounded
+    back by the ``tol`` threshold.  ``max_rank`` caps the stored rank
+    (HiCMA's maxrank); beyond it the tile is stored dense.
+    """
+    product = _product_factor(a_mk, b_nk)
+    if product is None:
+        return c_mn  # nothing to subtract
+
+    shape = c_mn.shape
+
+    if isinstance(product, np.ndarray):
+        # Dense product: materialize and recompress the result.
+        dense = c_mn.to_dense() - product if not isinstance(c_mn, NullTile) else -product
+        if isinstance(c_mn, DenseTile):
+            return DenseTile(dense)
+        from repro.linalg.tile import as_tile
+
+        return as_tile(compress_block(dense, tol, max_rank=max_rank), shape)
+
+    if isinstance(c_mn, DenseTile):
+        return DenseTile(c_mn.data - product.u @ product.v.T)
+
+    if isinstance(c_mn, NullTile):
+        stacked = LowRankFactor(-product.u, product.v)
+    else:
+        stacked = LowRankFactor(
+            np.hstack([c_mn.u, -product.u]),
+            np.hstack([c_mn.v, product.v]),
+        )
+
+    if stacked.rank >= min(shape):
+        # Accumulated rank is no longer "low"; go through the dense path.
+        from repro.linalg.tile import as_tile
+
+        return as_tile(
+            compress_block(stacked.to_dense(), tol, max_rank=max_rank), shape
+        )
+
+    rounded = recompress(stacked, tol)
+    if rounded is None:
+        return NullTile(shape)
+    if max_rank is not None and rounded.rank > max_rank:
+        return DenseTile(rounded.to_dense())
+    return LowRankTile(rounded)

@@ -1,0 +1,153 @@
+"""Low-rank factors, truncated-SVD compression and QR-based rounding.
+
+A rank-``k`` tile stores two tall-and-skinny factors ``U (m x k)`` and
+``V (n x k)`` with ``block = U @ V.T`` (Section IV-B).  Compression
+keeps the most significant singular values up to the accuracy
+threshold; a tile whose largest singular value falls below the
+threshold *disappears* (rank 0 → null), which is the data sparsity the
+paper exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.config import DTYPE
+
+__all__ = ["LowRankFactor", "truncated_svd", "compress_block", "recompress"]
+
+
+@dataclass(frozen=True)
+class LowRankFactor:
+    """Factor pair representing ``block = u @ v.T``.
+
+    ``u`` has shape ``(m, k)`` and ``v`` has shape ``(n, k)`` with
+    ``k >= 1``; rank-0 blocks are represented by ``None`` elsewhere,
+    never by an empty factor.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.u.ndim != 2 or self.v.ndim != 2:
+            raise ValueError("u and v must be 2D arrays")
+        if self.u.shape[1] != self.v.shape[1]:
+            raise ValueError(
+                f"rank mismatch: u has {self.u.shape[1]} columns, "
+                f"v has {self.v.shape[1]}"
+            )
+        if self.u.shape[1] == 0:
+            raise ValueError("rank-0 factors are not allowed; use a null tile")
+
+    @property
+    def rank(self) -> int:
+        return self.u.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.u.shape[0], self.v.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return self.u.nbytes + self.v.nbytes
+
+    def to_dense(self) -> np.ndarray:
+        return self.u @ self.v.T
+
+    def transpose(self) -> "LowRankFactor":
+        """Factors of the transposed block (swap u and v)."""
+        return LowRankFactor(self.v, self.u)
+
+
+def _truncation_rank(s: np.ndarray, tol: float, relative: bool) -> int:
+    """Number of singular values kept by the accuracy threshold."""
+    if len(s) == 0:
+        return 0
+    cutoff = tol * s[0] if relative else tol
+    return int(np.count_nonzero(s > cutoff))
+
+
+def truncated_svd(
+    block: np.ndarray, tol: float, relative: bool = False
+) -> LowRankFactor | None:
+    """Compress a dense block by truncated SVD.
+
+    Parameters
+    ----------
+    block:
+        Dense ``(m, n)`` array.
+    tol:
+        Accuracy threshold: singular values ``<= tol`` (absolute, the
+        HiCMA fixed-accuracy convention) or ``<= tol * sigma_1``
+        (``relative=True``) are discarded.
+
+    Returns
+    -------
+    A :class:`LowRankFactor` absorbing the singular values into ``u``
+    (``u = U_k * s_k``, ``v = V_k``), or ``None`` if every singular
+    value is below the threshold (the tile *disappears*).
+    """
+    if tol <= 0.0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    block = np.asarray(block, dtype=DTYPE)
+    u, s, vt = sla.svd(block, full_matrices=False, check_finite=False)
+    k = _truncation_rank(s, tol, relative)
+    if k == 0:
+        return None
+    return LowRankFactor(
+        np.ascontiguousarray(u[:, :k] * s[:k]),
+        np.ascontiguousarray(vt[:k].T),
+    )
+
+
+def compress_block(
+    block: np.ndarray,
+    tol: float,
+    max_rank: int | None = None,
+    relative: bool = False,
+) -> LowRankFactor | np.ndarray | None:
+    """Compress a dense block, falling back to dense for high ranks.
+
+    Returns ``None`` (null tile) when the block is negligible, a
+    :class:`LowRankFactor` when the numerical rank is at most
+    ``max_rank``, and the original dense block otherwise — mirroring
+    HiCMA's maxrank convention (config ``DENSE_RANK_FRACTION``).
+    """
+    factor = truncated_svd(block, tol, relative=relative)
+    if factor is None:
+        return None
+    if max_rank is not None and factor.rank > max_rank:
+        return np.asarray(block, dtype=DTYPE)
+    return factor
+
+
+def recompress(
+    factor: LowRankFactor, tol: float, relative: bool = False
+) -> LowRankFactor | None:
+    """Round a (possibly inflated) low-rank factor back to minimal rank.
+
+    After a TLR GEMM the accumulated factors have rank
+    ``k_C + min(k_A, k_B)``; this rounding step restores the numerical
+    rank with QR factorizations of both factors followed by an SVD of
+    the small core — the standard low-rank rounding used by HiCMA.
+
+    Cost: ``O((m+n) K^2 + K^3)`` for accumulated rank ``K``, versus
+    ``O(m n min(m, n))`` for recompressing the dense block.
+    """
+    if tol <= 0.0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    qu, ru = sla.qr(factor.u, mode="economic", check_finite=False)
+    qv, rv = sla.qr(factor.v, mode="economic", check_finite=False)
+    core = ru @ rv.T
+    u, s, vt = sla.svd(core, full_matrices=False, check_finite=False)
+    k = _truncation_rank(s, tol, relative)
+    if k == 0:
+        return None
+    return LowRankFactor(
+        np.ascontiguousarray(qu @ (u[:, :k] * s[:k])),
+        np.ascontiguousarray(qv @ vt[:k].T),
+    )

@@ -1,0 +1,92 @@
+"""Persistence for compressed TLR matrices (single-file ``.npz``).
+
+Compressing a large operator is the expensive phase (Fig. 11); saving
+the compressed form lets downstream runs (factorize with different
+distributions, sweep accuracy-compatible experiments) skip it.  The
+format stores each tile's payload under ``kind_/u_/v_/d_`` keys plus
+a small header — no pickling, portable across numpy versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.linalg.lowrank import LowRankFactor
+from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
+from repro.linalg.tile_matrix import TLRMatrix
+
+__all__ = ["save_tlr", "load_tlr"]
+
+_FORMAT_VERSION = 1
+
+
+def save_tlr(a: TLRMatrix, path) -> None:
+    """Write a TLR matrix to ``path`` (``.npz``, compressed)."""
+    arrays: dict[str, np.ndarray] = {
+        "header": np.array(
+            [
+                _FORMAT_VERSION,
+                a.n,
+                a.tile_size,
+                a.max_rank if a.max_rank is not None else -1,
+            ],
+            dtype=np.int64,
+        ),
+        "accuracy": np.array([a.accuracy], dtype=np.float64),
+    }
+    kinds = []
+    for (m, k), tile in sorted(a, key=lambda it: it[0]):
+        key = f"{m}_{k}"
+        if isinstance(tile, NullTile):
+            kinds.append((m, k, 0))
+        elif isinstance(tile, LowRankTile):
+            kinds.append((m, k, 1))
+            arrays[f"u_{key}"] = tile.u
+            arrays[f"v_{key}"] = tile.v
+        else:
+            kinds.append((m, k, 2))
+            arrays[f"d_{key}"] = tile.data
+    arrays["kinds"] = np.array(kinds, dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_tlr(path) -> TLRMatrix:
+    """Read a TLR matrix written by :func:`save_tlr`."""
+    with np.load(path) as data:
+        header = data["header"]
+        if header[0] != _FORMAT_VERSION:
+            raise ValueError(f"unsupported TLR file version {header[0]}")
+        n, tile_size = int(header[1]), int(header[2])
+        max_rank = int(header[3]) if header[3] >= 0 else None
+        accuracy = float(data["accuracy"][0])
+        nt = -(-n // tile_size)
+
+        def tile_shape(m: int, k: int) -> tuple[int, int]:
+            rows = min(tile_size, n - m * tile_size)
+            cols = min(tile_size, n - k * tile_size)
+            return (rows, cols)
+
+        tiles: dict[tuple[int, int], Tile] = {}
+        for m, k, kind in data["kinds"]:
+            m, k, kind = int(m), int(k), int(kind)
+            key = f"{m}_{k}"
+            if kind == 0:
+                tiles[(m, k)] = NullTile(tile_shape(m, k))
+            elif kind == 1:
+                tiles[(m, k)] = LowRankTile(
+                    LowRankFactor(
+                        np.ascontiguousarray(data[f"u_{key}"], dtype=DTYPE),
+                        np.ascontiguousarray(data[f"v_{key}"], dtype=DTYPE),
+                    )
+                )
+            elif kind == 2:
+                tiles[(m, k)] = DenseTile(data[f"d_{key}"])
+            else:
+                raise ValueError(f"corrupt tile kind {kind} at ({m}, {k})")
+        expected = nt * (nt + 1) // 2
+        if len(tiles) != expected:
+            raise ValueError(
+                f"file holds {len(tiles)} tiles, expected {expected}"
+            )
+    return TLRMatrix(n, tile_size, tiles, accuracy, max_rank)

@@ -1,0 +1,250 @@
+"""Symmetric TLR tile-matrix container.
+
+Stores the lower triangle of a symmetric operator as a grid of tiles:
+dense on the diagonal, compressed (low-rank / null / dense) below it.
+This is the data layout both factorization drivers operate on, and the
+object Algorithm 1 analyzes for DAG trimming.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.config import DENSE_RANK_FRACTION, DTYPE
+from repro.linalg.lowrank import compress_block
+from repro.linalg.tile import DenseTile, Tile, as_tile
+from repro.utils.validation import check_positive, check_square_matrix
+
+__all__ = ["TLRMatrix"]
+
+
+class TLRMatrix:
+    """Lower-triangular tile storage of a symmetric TLR matrix.
+
+    Tiles are indexed ``(m, k)`` with ``m >= k``; accessing the strict
+    upper triangle raises, mirroring the one-sided storage used by the
+    factorization.  The container is mutable: factorization drivers
+    replace tiles in place via :meth:`set_tile`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tile_size: int,
+        tiles: dict[tuple[int, int], Tile],
+        accuracy: float,
+        max_rank: int | None = None,
+    ) -> None:
+        check_positive("n", n)
+        check_positive("tile_size", tile_size)
+        check_positive("accuracy", accuracy)
+        self.n = int(n)
+        self.tile_size = int(tile_size)
+        self.accuracy = float(accuracy)
+        self.max_rank = max_rank
+        self._tiles = tiles
+        nt = self.n_tiles
+        for (m, k) in tiles:
+            if not (0 <= k <= m < nt):
+                raise ValueError(f"tile index {(m, k)} outside lower triangle")
+        for idx in ((m, k) for k in range(nt) for m in range(k, nt)):
+            if idx not in tiles:
+                raise ValueError(f"missing tile {idx}")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def compress(
+        cls,
+        tile_source: Callable[[int, int], np.ndarray],
+        n: int,
+        tile_size: int,
+        accuracy: float,
+        max_rank: int | None = None,
+    ) -> "TLRMatrix":
+        """Build a TLR matrix by compressing tiles from a generator.
+
+        ``tile_source(i, j)`` must return the dense ``(i, j)`` tile of
+        the symmetric operator (e.g.
+        :meth:`repro.kernels.matgen.RBFMatrixGenerator.tile`).
+        Diagonal tiles stay dense; off-diagonal tiles are compressed to
+        the ``accuracy`` threshold with rank capped by ``max_rank``
+        (default: ``DENSE_RANK_FRACTION * tile_size``).
+        """
+        check_positive("tile_size", tile_size)
+        if max_rank is None:
+            max_rank = max(1, int(DENSE_RANK_FRACTION * tile_size))
+        nt = -(-n // tile_size)
+        tiles: dict[tuple[int, int], Tile] = {}
+        for k in range(nt):
+            for m in range(k, nt):
+                block = np.asarray(tile_source(m, k), dtype=DTYPE)
+                if m == k:
+                    tiles[(m, k)] = DenseTile(block)
+                else:
+                    tiles[(m, k)] = as_tile(
+                        compress_block(block, accuracy, max_rank=max_rank),
+                        block.shape,
+                    )
+        return cls(n, tile_size, tiles, accuracy, max_rank)
+
+    @classmethod
+    def from_dense(
+        cls,
+        a: np.ndarray,
+        tile_size: int,
+        accuracy: float,
+        max_rank: int | None = None,
+    ) -> "TLRMatrix":
+        """Compress an explicit dense symmetric matrix."""
+        check_square_matrix("a", a)
+        a = np.asarray(a, dtype=DTYPE)
+        b = tile_size
+
+        def source(i: int, j: int) -> np.ndarray:
+            return a[i * b : (i + 1) * b, j * b : (j + 1) * b]
+
+        return cls.compress(source, a.shape[0], tile_size, accuracy, max_rank)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    @property
+    def n_tiles(self) -> int:
+        return -(-self.n // self.tile_size)
+
+    def tile(self, m: int, k: int) -> Tile:
+        """The ``(m, k)`` tile of the lower triangle (``m >= k``)."""
+        if k > m:
+            raise IndexError(
+                f"tile ({m}, {k}) is in the strict upper triangle; "
+                "storage is lower-triangular"
+            )
+        return self._tiles[(m, k)]
+
+    def set_tile(self, m: int, k: int, tile: Tile) -> None:
+        """Replace a tile (used by factorization drivers)."""
+        if k > m:
+            raise IndexError(f"cannot set upper-triangle tile ({m}, {k})")
+        if (m, k) not in self._tiles:
+            raise KeyError(f"tile {(m, k)} out of range")
+        expected = self._tiles[(m, k)].shape
+        if tile.shape != expected:
+            raise ValueError(
+                f"tile ({m}, {k}) shape {tile.shape} != expected {expected}"
+            )
+        self._tiles[(m, k)] = tile
+
+    def __iter__(self):
+        """Iterate ``((m, k), tile)`` over the stored lower triangle."""
+        return iter(self._tiles.items())
+
+    # ------------------------------------------------------------------
+    # structure queries (feed Algorithm 1 and the figures)
+    # ------------------------------------------------------------------
+
+    def rank_matrix(self) -> np.ndarray:
+        """``(NT, NT)`` integer array of stored tile ranks (lower part).
+
+        Dense off-diagonal tiles report their full rank ``min(b, b)``;
+        the upper triangle is filled symmetrically for heat-map
+        plotting (Fig. 1).
+        """
+        nt = self.n_tiles
+        ranks = np.zeros((nt, nt), dtype=np.int64)
+        for (m, k), tile in self._tiles.items():
+            ranks[m, k] = tile.rank
+            ranks[k, m] = tile.rank
+        return ranks
+
+    def rank_array(self) -> np.ndarray:
+        """The 1D ``rank[k * NT + m]`` layout used by Algorithm 1."""
+        nt = self.n_tiles
+        rank = np.zeros(nt * nt, dtype=np.int64)
+        for (m, k), tile in self._tiles.items():
+            rank[k * nt + m] = tile.rank
+            rank[m * nt + k] = tile.rank
+        return rank
+
+    def off_diagonal_rank_stats(self) -> dict[str, float]:
+        """Max / average / min rank over *non-null* off-diagonal tiles.
+
+        The paper's Fig. 1 annotation: "the average rank is only for
+        non-zero tiles".  Returns zeros if every off-diagonal tile is
+        null.
+        """
+        ranks = [
+            t.rank for (m, k), t in self._tiles.items() if m != k and t.rank > 0
+        ]
+        if not ranks:
+            return {"max": 0.0, "avg": 0.0, "min": 0.0}
+        return {
+            "max": float(max(ranks)),
+            "avg": float(np.mean(ranks)),
+            "min": float(min(ranks)),
+        }
+
+    def density(self) -> float:
+        """Ratio of non-null off-diagonal tiles (Sec. V definition).
+
+        ``sparsity = 1 - density``.  Diagonal tiles are always dense
+        and excluded from the ratio; a 1x1 tile grid has density 1.
+        """
+        off = [(m, k) for (m, k) in self._tiles if m != k]
+        if not off:
+            return 1.0
+        nonzero = sum(1 for idx in off if not self._tiles[idx].is_null)
+        return nonzero / len(off)
+
+    def memory_bytes(self) -> int:
+        """Bytes of stored numerical payload (compressed footprint)."""
+        return sum(t.nbytes for t in self._tiles.values())
+
+    def dense_bytes(self) -> int:
+        """Bytes the same lower triangle would occupy fully dense."""
+        return sum(
+            int(np.prod(t.shape)) * np.dtype(DTYPE).itemsize
+            for t in self._tiles.values()
+        )
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+
+    def to_dense(self, symmetrize: bool = True) -> np.ndarray:
+        """Materialize as a dense array (laptop-scale validation only).
+
+        With ``symmetrize=True`` the upper triangle is mirrored from
+        the stored lower triangle; otherwise it is left zero (useful to
+        inspect the raw factor after an in-place factorization).
+        """
+        out = np.zeros((self.n, self.n), dtype=DTYPE)
+        b = self.tile_size
+        for (m, k), tile in self._tiles.items():
+            block = tile.to_dense()
+            out[m * b : m * b + block.shape[0], k * b : k * b + block.shape[1]] = block
+            if symmetrize and m != k:
+                out[
+                    k * b : k * b + block.shape[1], m * b : m * b + block.shape[0]
+                ] = block.T
+        return out
+
+    def copy(self) -> "TLRMatrix":
+        """Deep copy (tiles are immutable-by-convention, but drivers
+        replace them; copying the dict is enough for independence as
+        kernels never mutate operand arrays in place)."""
+        return TLRMatrix(
+            self.n, self.tile_size, dict(self._tiles), self.accuracy, self.max_rank
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TLRMatrix(n={self.n}, tile_size={self.tile_size}, "
+            f"NT={self.n_tiles}, accuracy={self.accuracy:g}, "
+            f"density={self.density():.3f})"
+        )

@@ -1,0 +1,31 @@
+"""Machine models and distributed-execution simulation.
+
+Two simulators share the same machine/cost models:
+
+* :mod:`repro.machine.simulator` — an exact discrete-event simulator
+  for small/medium task graphs (validates scheduling and distribution
+  effects task by task);
+* :mod:`repro.machine.analytic` — a closed-form performance model for
+  paper-scale problems (NT ~ 10^4, thousands of nodes), combining the
+  critical-path bound, per-process work/communication maxima and
+  runtime overheads.
+"""
+
+from repro.machine.models import FUGAKU, SHAHEEN_II, MachineModel
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import DistributedSimulator, SimulationResult
+from repro.machine.analytic import AnalyticModel, AnalyticResult
+from repro.machine.autotune import TuningResult, tune_tile_size
+
+__all__ = [
+    "tune_tile_size",
+    "TuningResult",
+    "MachineModel",
+    "SHAHEEN_II",
+    "FUGAKU",
+    "CostModel",
+    "DistributedSimulator",
+    "SimulationResult",
+    "AnalyticModel",
+    "AnalyticResult",
+]

@@ -1,0 +1,93 @@
+"""Model-driven tile-size auto-tuning.
+
+Section VIII-C: "Auto-tuning the tile size with a model is an
+important aspect but beyond the scope of the paper."  With the
+analytic performance model in hand, the tuning is a one-dimensional
+search: evaluate the predicted time-to-solution over a geometric grid
+of tile sizes around the paper's ``b = O(sqrt(N))`` anchor and refine
+around the best point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.lorapo import FrameworkConfig
+from repro.core.rank_model import SyntheticRankField
+from repro.machine.analytic import AnalyticModel
+from repro.machine.models import MachineModel
+
+__all__ = ["tune_tile_size", "TuningResult"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    best_tile_size: int
+    best_time: float
+    #: every evaluated (tile_size, predicted_seconds) pair
+    evaluations: list[tuple[int, float]]
+
+
+def tune_tile_size(
+    machine: MachineModel,
+    n_nodes: int,
+    config: FrameworkConfig,
+    n: int,
+    shape_parameter: float,
+    accuracy: float,
+    candidates: list[int] | None = None,
+    refine: bool = True,
+    pair_budget: int = 2_000_000,
+) -> TuningResult:
+    """Pick the tile size minimizing the model's time-to-solution.
+
+    Parameters
+    ----------
+    candidates:
+        Explicit tile sizes to evaluate; default is a geometric grid
+        (x2 steps) spanning 1/8x .. 8x of the ``sqrt(N)`` anchor.
+    refine:
+        After the coarse sweep, evaluate the two midpoints around the
+        winner (golden-section-flavoured single refinement).
+    """
+    if candidates is None:
+        anchor = max(256, int(2440 * math.sqrt(n / 2.99e6)))
+        candidates = sorted(
+            {
+                max(128, int(anchor * 2.0**e))
+                for e in (-3, -2, -1, 0, 1, 2, 3)
+            }
+        )
+
+    def predict(b: int) -> float:
+        field = SyntheticRankField.from_parameters(
+            n, b, shape_parameter=shape_parameter, accuracy=accuracy
+        )
+        model = AnalyticModel(
+            machine, n_nodes, config, pair_budget=pair_budget
+        )
+        return model.factorization_time(field).makespan
+
+    evals: list[tuple[int, float]] = [(b, predict(b)) for b in candidates]
+    evals.sort()
+    best_b, best_t = min(evals, key=lambda e: e[1])
+
+    if refine and len(evals) >= 3:
+        idx = [b for b, _ in evals].index(best_b)
+        neighbours = []
+        if idx > 0:
+            neighbours.append(int(math.sqrt(evals[idx - 1][0] * best_b)))
+        if idx < len(evals) - 1:
+            neighbours.append(int(math.sqrt(best_b * evals[idx + 1][0])))
+        for b in neighbours:
+            if all(b != e[0] for e in evals):
+                t = predict(b)
+                evals.append((b, t))
+                if t < best_t:
+                    best_b, best_t = b, t
+        evals.sort()
+
+    return TuningResult(best_tile_size=best_b, best_time=best_t, evaluations=evals)

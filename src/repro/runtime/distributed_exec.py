@@ -1,0 +1,250 @@
+"""Functional distributed-memory execution over OS processes.
+
+The simulators in :mod:`repro.machine` model *performance*; this
+module executes the factorization *functionally distributed*: each
+worker is a separate OS process owning exactly the tiles its data
+distribution assigns (genuine memory isolation — no worker ever holds
+the whole matrix), and tiles move between workers only along
+dependency edges, exactly like MPI ranks under PaRSEC.
+
+The coordinator walks the task graph in topological order, moving
+operand tiles to the executing worker on demand (with a simple
+ownership/copy coherence: a write invalidates remote copies) and
+recording the traffic.  Scheduling is sequential by design — the goal
+is *distribution correctness*, not speed: the distributed factor must
+be bit-identical to the single-process one, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.linalg.lowrank import LowRankFactor
+from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
+from repro.linalg.tile_matrix import TLRMatrix
+from repro.runtime.dag import TaskGraph
+
+__all__ = ["DistributedExecutor", "DistributedRunResult"]
+
+
+# ----------------------------------------------------------------------
+# tile (de)serialization — explicit, no pickling of library classes
+# ----------------------------------------------------------------------
+
+
+def _pack_tile(tile: Tile):
+    if isinstance(tile, NullTile):
+        return ("null", tile.shape)
+    if isinstance(tile, LowRankTile):
+        return ("lr", tile.u, tile.v)
+    return ("dense", tile.data)
+
+
+def _unpack_tile(payload) -> Tile:
+    kind = payload[0]
+    if kind == "null":
+        return NullTile(payload[1])
+    if kind == "lr":
+        return LowRankTile(LowRankFactor(payload[1], payload[2]))
+    return DenseTile(payload[1])
+
+
+def _payload_bytes(payload) -> int:
+    return sum(p.nbytes for p in payload[1:] if isinstance(p, np.ndarray))
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_main(cmd_conn, res_conn, accuracy: float, max_rank) -> None:
+    """Worker loop: owns a local tile store, executes kernels on it."""
+    from repro.linalg.kernels_tlr import (
+        gemm_tile,
+        potrf_tile,
+        syrk_tile,
+        trsm_tile,
+    )
+
+    store: dict[tuple[int, int], Tile] = {}
+    while True:
+        msg = cmd_conn.recv()
+        op = msg[0]
+        if op == "stop":
+            res_conn.send(("bye",))
+            return
+        if op == "put":
+            _, key, payload = msg
+            store[key] = _unpack_tile(payload)
+            res_conn.send(("ok",))
+        elif op == "get":
+            _, key = msg
+            res_conn.send(("tile", _pack_tile(store[key])))
+        elif op == "drop":
+            _, key = msg
+            store.pop(key, None)
+            res_conn.send(("ok",))
+        elif op == "exec":
+            _, klass, params = msg
+            try:
+                if klass == "POTRF":
+                    (k,) = params
+                    store[(k, k)] = potrf_tile(store[(k, k)])
+                elif klass == "TRSM":
+                    m, k = params
+                    store[(m, k)] = trsm_tile(store[(k, k)], store[(m, k)])
+                elif klass == "SYRK":
+                    m, k = params
+                    store[(m, m)] = syrk_tile(store[(m, m)], store[(m, k)])
+                elif klass == "GEMM":
+                    m, n, k = params
+                    store[(m, n)] = gemm_tile(
+                        store[(m, n)], store[(m, k)], store[(n, k)],
+                        tol=accuracy, max_rank=max_rank,
+                    )
+                else:
+                    raise ValueError(f"unknown task class {klass!r}")
+                res_conn.send(("ok",))
+            except Exception as exc:  # surface worker failures
+                res_conn.send(("error", repr(exc)))
+        else:
+            res_conn.send(("error", f"unknown op {op!r}"))
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DistributedRunResult:
+    """Outcome of a functional distributed factorization."""
+
+    factor: TLRMatrix
+    n_tasks: int
+    #: tiles moved between workers (dedup-coherent transfers)
+    n_transfers: int
+    transfer_bytes: int
+    #: tasks executed per worker
+    tasks_per_worker: list[int] = field(default_factory=list)
+
+
+class DistributedExecutor:
+    """Coordinator for functionally-distributed TLR Cholesky."""
+
+    def __init__(self, n_processes: int) -> None:
+        if n_processes < 1:
+            raise ValueError(f"n_processes must be >= 1, got {n_processes}")
+        self.nproc = int(n_processes)
+
+    def run(
+        self,
+        a: TLRMatrix,
+        graph: TaskGraph,
+        data_dist: Distribution,
+        exec_dist: Distribution | None = None,
+    ) -> DistributedRunResult:
+        """Execute ``graph`` on ``a`` across worker processes.
+
+        ``a`` is consumed: its tiles are scattered to the workers and
+        the gathered factor is returned as a fresh matrix.
+        """
+        if data_dist.nproc != self.nproc:
+            raise ValueError("distribution nproc != executor nproc")
+        xd = exec_dist if exec_dist is not None else data_dist
+        ctx = mp.get_context("fork")
+        cmd_pipes = [ctx.Pipe() for _ in range(self.nproc)]
+        res_pipes = [ctx.Pipe() for _ in range(self.nproc)]
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(cmd_pipes[p][1], res_pipes[p][0], a.accuracy, a.max_rank),
+                daemon=True,
+            )
+            for p in range(self.nproc)
+        ]
+        for w in workers:
+            w.start()
+        cmd = [c[0] for c in cmd_pipes]
+        res = [r[1] for r in res_pipes]
+
+        def ask(p: int, *msg):
+            cmd[p].send(msg)
+            reply = res[p].recv()
+            if reply[0] == "error":
+                raise RuntimeError(f"worker {p}: {reply[1]}")
+            return reply
+
+        try:
+            # ---- scatter: each worker gets its owned tiles ----------
+            home: dict[tuple[int, int], int] = {}
+            for (m, k), tile in a:
+                p = data_dist.owner(m, k)
+                home[(m, k)] = p
+                ask(p, "put", (m, k), _pack_tile(tile))
+            # copies[d] = set of workers holding a current copy
+            copies = {d: {p} for d, p in home.items()}
+
+            n_transfers = 0
+            transfer_bytes = 0
+            tasks_per_worker = [0] * self.nproc
+
+            def ensure_at(d: tuple[int, int], p: int) -> None:
+                nonlocal n_transfers, transfer_bytes
+                if p in copies[d]:
+                    return
+                src = next(iter(copies[d]))
+                _, payload = ask(src, "get", d)
+                ask(p, "put", d, payload)
+                copies[d].add(p)
+                n_transfers += 1
+                transfer_bytes += _payload_bytes(payload)
+
+            # ---- execute in topological order -----------------------
+            order = graph.topological_order()
+            for i in order:
+                task = graph.tasks[i]
+                out = task.writes[0]
+                p = xd.owner(*out)
+                for d in task.reads:
+                    ensure_at(d, p)
+                ask(p, "exec", task.klass, task.params)
+                tasks_per_worker[p] += 1
+                # the write invalidates every other copy
+                stale = copies[out] - {p}
+                for q in stale:
+                    ask(q, "drop", out)
+                copies[out] = {p}
+
+            # ---- gather the factor ----------------------------------
+            tiles: dict[tuple[int, int], Tile] = {}
+            for d in home:
+                src = next(iter(copies[d]))
+                _, payload = ask(src, "get", d)
+                tiles[d] = _unpack_tile(payload)
+            factor = TLRMatrix(
+                a.n, a.tile_size, tiles, a.accuracy, a.max_rank
+            )
+            return DistributedRunResult(
+                factor=factor,
+                n_tasks=len(graph),
+                n_transfers=n_transfers,
+                transfer_bytes=transfer_bytes,
+                tasks_per_worker=tasks_per_worker,
+            )
+        finally:
+            for p in range(self.nproc):
+                try:
+                    cmd[p].send(("stop",))
+                    res[p].recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            for w in workers:
+                w.join(timeout=10)
+                if w.is_alive():
+                    w.terminate()

@@ -1,0 +1,82 @@
+"""In-process execution engine.
+
+Runs a :class:`~repro.runtime.dag.TaskGraph` to completion: tasks
+become ready when all predecessors finish, the scheduler picks among
+ready tasks, and the registered kernel for the task's class is invoked
+against the shared data store (a :class:`~repro.linalg.TLRMatrix`).
+
+On one node this is a faithful (serialized) PaRSEC analogue: the DAG
+traversal order is exactly what a single-worker PaRSEC instance would
+execute, and the trace records real kernel durations that calibrate
+the distributed simulator's cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.scheduler import Scheduler, PriorityScheduler
+from repro.runtime.task import Task
+from repro.runtime.tracing import Trace, TraceEvent
+
+__all__ = ["ExecutionEngine"]
+
+#: A kernel takes (task, data_store) and mutates the store.
+Kernel = Callable[[Task, object], None]
+
+
+class ExecutionEngine:
+    """Schedules and executes a task graph with registered kernels."""
+
+    def __init__(self, scheduler: Scheduler | None = None) -> None:
+        self.scheduler = scheduler if scheduler is not None else PriorityScheduler()
+        self._kernels: dict[str, Kernel] = {}
+
+    def register(self, klass: str, kernel: Kernel) -> None:
+        """Bind a task class name to its computational kernel."""
+        if klass in self._kernels:
+            raise ValueError(f"kernel for task class {klass!r} already registered")
+        self._kernels[klass] = kernel
+
+    def run(self, graph: TaskGraph, data: object, trace: Trace | None = None) -> Trace:
+        """Execute every task in dependency order.
+
+        Returns the trace (a fresh one unless ``trace`` is supplied).
+        Raises ``KeyError`` if a task class has no registered kernel
+        and ``ValueError`` if the graph cannot be fully executed
+        (cycle / inconsistent dependencies).
+        """
+        if trace is None:
+            trace = Trace()
+        n = len(graph)
+        indegree = [graph.in_degree(i) for i in range(n)]
+        for i in range(n):
+            if indegree[i] == 0:
+                self.scheduler.push(i, graph.tasks[i])
+
+        t0 = time.perf_counter()
+        done = 0
+        while self.scheduler:
+            i = self.scheduler.pop()
+            task = graph.tasks[i]
+            kernel = self._kernels.get(task.klass)
+            if kernel is None:
+                raise KeyError(f"no kernel registered for task class {task.klass!r}")
+            start = time.perf_counter() - t0
+            kernel(task, data)
+            end = time.perf_counter() - t0
+            trace.record(
+                TraceEvent(task.klass, task.params, start, end, flops=task.flops)
+            )
+            done += 1
+            for j in graph.successors.get(i, ()):
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    self.scheduler.push(j, graph.tasks[j])
+        if done != n:
+            raise ValueError(
+                f"executed {done} of {n} tasks; graph has unsatisfiable dependencies"
+            )
+        return trace

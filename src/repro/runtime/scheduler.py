@@ -1,0 +1,119 @@
+"""Ready-queue scheduling policies.
+
+The engine asks the scheduler for the next ready task; the policy
+determines the traversal of the DAG.  PaRSEC's default behaviour of
+advancing the panel factorization eagerly is captured by the priority
+scheduler with the Cholesky priority function (smaller panel index
+= deeper on the critical path = runs first).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+from collections.abc import Callable
+
+from repro.runtime.task import Task
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "LIFOScheduler",
+    "PriorityScheduler",
+    "cholesky_priority",
+]
+
+
+class Scheduler(ABC):
+    """A mutable queue of ready tasks."""
+
+    @abstractmethod
+    def push(self, index: int, task: Task) -> None:
+        """Add a ready task (graph index + task object)."""
+
+    @abstractmethod
+    def pop(self) -> int:
+        """Remove and return the index of the next task to run."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FIFOScheduler(Scheduler):
+    """First-in first-out: breadth-first DAG traversal."""
+
+    def __init__(self) -> None:
+        self._q: deque[int] = deque()
+
+    def push(self, index: int, task: Task) -> None:
+        self._q.append(index)
+
+    def pop(self) -> int:
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class LIFOScheduler(Scheduler):
+    """Last-in first-out: depth-first traversal (cache-friendly)."""
+
+    def __init__(self) -> None:
+        self._q: list[int] = []
+
+    def push(self, index: int, task: Task) -> None:
+        self._q.append(index)
+
+    def pop(self) -> int:
+        return self._q.pop()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class PriorityScheduler(Scheduler):
+    """Highest-priority-first with FIFO tie-breaking.
+
+    ``priority(task)`` defaults to the task's own ``priority``
+    attribute (set by the graph builder).
+    """
+
+    def __init__(self, priority: Callable[[Task], float] | None = None) -> None:
+        self._priority = priority
+        self._heap: list[tuple[float, int, int]] = []
+        self._counter = 0
+
+    def push(self, index: int, task: Task) -> None:
+        p = task.priority if self._priority is None else self._priority(task)
+        heapq.heappush(self._heap, (-p, self._counter, index))
+        self._counter += 1
+
+    def pop(self) -> int:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def cholesky_priority(task: Task, n_tiles: int) -> float:
+    """PaRSEC-style priority for tile Cholesky.
+
+    Tasks of earlier panels are deeper on the critical path and must
+    run first; within a panel, POTRF > TRSM > SYRK > GEMM, and the
+    critical-path TRSM/SYRK (first subdiagonal) outrank the rest.
+    """
+    k = task.params[-1] if task.klass != "POTRF" else task.params[0]
+    base = float((n_tiles - k) * 10)
+    if task.klass == "POTRF":
+        return base + 9.0
+    if task.klass == "TRSM":
+        m = task.params[0]
+        return base + (8.0 if m == k + 1 else 6.0)
+    if task.klass == "SYRK":
+        m = task.params[0]
+        return base + (7.0 if m == k + 1 else 4.0)
+    return base + 2.0  # GEMM

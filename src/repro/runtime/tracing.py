@@ -1,0 +1,97 @@
+"""Execution tracing: per-task events and per-kernel aggregation.
+
+Mirrors the PaRSEC instrumentation used in the paper's companion
+analysis work (ProTools'19): start/stop timestamps, kernel class,
+flops, and the process/worker that ran the task.  Traces export to
+the Chrome trace-event JSON format (view in ``chrome://tracing`` or
+Perfetto), the modern equivalent of PaRSEC's .prof visualization.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed task."""
+
+    klass: str
+    params: tuple[int, ...]
+    start: float
+    end: float
+    flops: float = 0.0
+    worker: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """An append-only log of task executions."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def makespan(self) -> float:
+        """Span from the first task start to the last task end."""
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events) - min(e.start for e in self.events)
+
+    def time_by_class(self) -> dict[str, float]:
+        """Total busy time per task class."""
+        agg: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            agg[e.klass] += e.duration
+        return dict(agg)
+
+    def count_by_class(self) -> dict[str, int]:
+        agg: dict[str, int] = defaultdict(int)
+        for e in self.events:
+            agg[e.klass] += 1
+        return dict(agg)
+
+    def total_flops(self) -> float:
+        return sum(e.flops for e in self.events)
+
+    def busy_time(self) -> float:
+        return sum(e.duration for e in self.events)
+
+    def to_chrome_trace(self) -> str:
+        """Serialize as Chrome trace-event JSON (complete events).
+
+        Workers map to thread ids; durations are microseconds, as the
+        format requires.
+        """
+        events = [
+            {
+                "name": f"{e.klass}{e.params}",
+                "cat": e.klass,
+                "ph": "X",
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+                "pid": 0,
+                "tid": e.worker,
+                "args": {"flops": e.flops},
+            }
+            for e in self.events
+        ]
+        return json.dumps({"traceEvents": events}, indent=None)
+
+    def save_chrome_trace(self, path) -> None:
+        """Write :meth:`to_chrome_trace` output to ``path``."""
+        with open(path, "w") as f:
+            f.write(self.to_chrome_trace())

@@ -1,0 +1,28 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_positive", "check_square_matrix", "check_symmetric"]
+
+
+def check_positive(name: str, value: float | int) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_square_matrix(name: str, a: np.ndarray) -> None:
+    """Raise ``ValueError`` unless ``a`` is a square 2D array."""
+    a = np.asarray(a)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {a.shape}")
+
+
+def check_symmetric(name: str, a: np.ndarray, tol: float = 1e-10) -> None:
+    """Raise ``ValueError`` unless ``a`` is symmetric within ``tol``."""
+    check_square_matrix(name, a)
+    scale = max(1.0, float(np.abs(a).max()))
+    if not np.allclose(a, a.T, atol=tol * scale):
+        raise ValueError(f"{name} is not symmetric (tol={tol})")

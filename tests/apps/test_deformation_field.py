@@ -1,0 +1,79 @@
+"""Tests for boundary displacement scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.apps.deformation_field import (
+    bending,
+    radial_expansion,
+    rigid_rotation,
+    translation,
+)
+from repro.geometry import fibonacci_sphere
+
+
+@pytest.fixture()
+def sphere():
+    return fibonacci_sphere(200, radius=1.0)
+
+
+class TestRigidRotation:
+    def test_preserves_distances(self, sphere):
+        d = rigid_rotation(sphere, angle=0.3)
+        moved = sphere + d
+        c = sphere.mean(axis=0)
+        assert np.allclose(
+            np.linalg.norm(moved - c, axis=1),
+            np.linalg.norm(sphere - c, axis=1),
+            atol=1e-12,
+        )
+
+    def test_zero_angle_no_motion(self, sphere):
+        assert np.allclose(rigid_rotation(sphere, 0.0), 0.0)
+
+    def test_known_90_degrees(self):
+        pts = np.array([[1.0, 0.0, 0.0]])
+        d = rigid_rotation(pts, np.pi / 2, axis=[0, 0, 1], center=[0, 0, 0])
+        assert np.allclose(pts + d, [[0.0, 1.0, 0.0]], atol=1e-12)
+
+    def test_axis_points_fixed(self):
+        pts = np.array([[0.0, 0.0, 2.0], [0.0, 0.0, -1.0]])
+        d = rigid_rotation(pts, 1.0, axis=[0, 0, 1], center=[0, 0, 0])
+        assert np.allclose(d, 0.0, atol=1e-12)
+
+    def test_zero_axis_rejected(self, sphere):
+        with pytest.raises(ValueError):
+            rigid_rotation(sphere, 1.0, axis=[0, 0, 0])
+
+
+class TestOthers:
+    def test_translation_uniform(self, sphere):
+        d = translation(sphere, [1.0, 2.0, 3.0])
+        assert np.allclose(d, [1.0, 2.0, 3.0])
+
+    def test_translation_bad_vector(self, sphere):
+        with pytest.raises(ValueError):
+            translation(sphere, [1.0, 2.0])
+
+    def test_bending_quadratic(self):
+        pts = np.zeros((3, 3))
+        pts[:, 0] = [0.0, 0.5, 1.0]
+        d = bending(pts, amplitude=2.0, axis=0, out_axis=2)
+        assert d[0, 2] == 0.0
+        assert d[1, 2] == pytest.approx(0.5)
+        assert d[2, 2] == pytest.approx(2.0)
+        assert np.allclose(d[:, :2], 0.0)
+
+    def test_bending_same_axis_rejected(self, sphere):
+        with pytest.raises(ValueError):
+            bending(sphere, 1.0, axis=1, out_axis=1)
+
+    def test_radial_expansion_scales(self, sphere):
+        d = radial_expansion(sphere, factor=0.1)
+        moved = sphere + d
+        c = sphere.mean(axis=0)
+        assert np.allclose(
+            np.linalg.norm(moved - c, axis=1),
+            1.1 * np.linalg.norm(sphere - c, axis=1),
+            atol=1e-10,
+        )

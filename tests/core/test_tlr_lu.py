@@ -1,0 +1,144 @@
+"""Tests for the TLR LU path (general matrices, ref. [11] setting)."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.core.tlr_lu import (
+    analyze_ranks_lu,
+    lu_tasks,
+    solve_lu,
+    tlr_lu,
+)
+from repro.linalg.general_matrix import GeneralTLRMatrix
+from repro.runtime.dag import build_graph
+
+
+@pytest.fixture(scope="module")
+def bem_like():
+    """A diagonally-dominant non-symmetric kernel matrix (BEM-like):
+    smooth off-diagonal decay -> compressible, strong diagonal -> a
+    stable non-pivoted LU."""
+    from repro.utils.hilbert import hilbert_order
+
+    rng = np.random.default_rng(3)
+    n = 192
+    pts = rng.random((n, 3))
+    pts = pts[hilbert_order(pts)]  # locality -> compressible tiles
+    d = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+    a = np.exp(-((d / 0.15) ** 2)) * (1.0 + 0.3 * np.sin(3.0 * d))
+    a += n * 0.05 * np.eye(n)  # diagonal dominance
+    # mild non-symmetry
+    a += 0.01 * np.exp(-((d / 0.12) ** 2)) * np.tri(n, k=-1)
+    return a
+
+
+class TestGeneralContainer:
+    def test_roundtrip(self, bem_like):
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-10)
+        assert np.allclose(t.to_dense(), bem_like, atol=1e-7)
+
+    def test_density_and_memory(self, bem_like):
+        # at a loose threshold the smooth far-field compresses
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-3)
+        assert 0 < t.density() <= 1.0
+        assert t.memory_bytes() < bem_like.nbytes
+
+    def test_missing_tile_rejected(self):
+        with pytest.raises(ValueError, match="missing tile"):
+            GeneralTLRMatrix(10, 5, {}, accuracy=1e-6)
+
+
+class TestLUAnalysis:
+    def test_dense_counts(self):
+        nt = 5
+        ana = analyze_ranks_lu(np.ones((nt, nt)), nt)
+        counts = ana.task_counts()
+        assert counts["GETRF"] == nt
+        assert counts["TRSM_L"] == counts["TRSM_U"] == nt * (nt - 1) // 2
+        assert counts["GEMM"] == sum((nt - 1 - k) ** 2 for k in range(nt))
+
+    def test_fill_rule(self):
+        nt = 4
+        r = np.zeros((nt, nt))
+        np.fill_diagonal(r, 1)
+        r[2, 0] = 1  # L side
+        r[0, 3] = 1  # U side
+        ana = analyze_ranks_lu(r, nt)
+        # (2, 3) fills in: (2,0) x (0,3)
+        assert ana.final_nonzero[2, 3]
+        assert not ana.final_nonzero[3, 2]
+
+    def test_trimmed_subset(self):
+        nt = 6
+        rng = np.random.default_rng(0)
+        r = (rng.random((nt, nt)) < 0.4).astype(int)
+        np.fill_diagonal(r, 1)
+        ana = analyze_ranks_lu(r, nt)
+        full = {t.uid for t in lu_tasks(nt)}
+        trim = {t.uid for t in lu_tasks(nt, ana)}
+        assert trim <= full
+
+
+class TestFactorization:
+    def test_residual(self, bem_like):
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-8)
+        res = tlr_lu(t)
+        assert res.residual(bem_like) < 1e-5
+
+    def test_matches_scipy_lu(self, bem_like):
+        """With tight tolerance the TLR LU matches the non-pivoted
+        factorization implicitly defined by scipy's solve."""
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-12)
+        res = tlr_lu(t)
+        packed = res.factor.to_dense()
+        l = np.tril(packed, -1) + np.eye(t.n)
+        u = np.triu(packed)
+        assert np.allclose(l @ u, bem_like, atol=1e-7)
+
+    def test_trim_invariance(self, bem_like):
+        r1 = tlr_lu(GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-10),
+                    trim=True)
+        r2 = tlr_lu(GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-10),
+                    trim=False)
+        assert len(r1.graph) <= len(r2.graph)
+        assert np.allclose(
+            r1.factor.to_dense(), r2.factor.to_dense(), atol=1e-9
+        )
+
+    def test_raises_on_zero_pivot(self):
+        a = np.eye(32)
+        a[0, 0] = 0.0
+        t = GeneralTLRMatrix.from_dense(a, 16, accuracy=1e-10)
+        with pytest.raises(np.linalg.LinAlgError):
+            tlr_lu(t)
+
+    def test_graph_valid(self, bem_like):
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-8)
+        ana = analyze_ranks_lu(t.rank_matrix(), t.n_tiles)
+        g = build_graph(lu_tasks(t.n_tiles, ana))
+        g.topological_order()  # must not raise
+
+
+class TestSolve:
+    def test_solve_recovers_solution(self, bem_like):
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-12)
+        res = tlr_lu(t)
+        rng = np.random.default_rng(1)
+        x_true = rng.standard_normal(bem_like.shape[0])
+        x = solve_lu(res.factor, bem_like @ x_true)
+        assert np.allclose(x, x_true, atol=1e-6)
+
+    def test_multi_rhs(self, bem_like):
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-12)
+        res = tlr_lu(t)
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal((bem_like.shape[0], 2))
+        x = solve_lu(res.factor, b)
+        assert np.allclose(bem_like @ x, b, atol=1e-6)
+
+    def test_wrong_size(self, bem_like):
+        t = GeneralTLRMatrix.from_dense(bem_like, 48, accuracy=1e-8)
+        res = tlr_lu(t)
+        with pytest.raises(ValueError):
+            solve_lu(res.factor, np.ones(5))

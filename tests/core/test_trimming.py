@@ -1,0 +1,96 @@
+"""Tests for the task-space enumeration (trimmed and full)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze_ranks
+from repro.core.trimming import cholesky_tasks
+from repro.runtime.dag import build_graph
+
+
+class TestFullEnumeration:
+    def test_counts(self):
+        nt = 5
+        tasks = cholesky_tasks(nt)
+        counts = {}
+        for t in tasks:
+            counts[t.klass] = counts.get(t.klass, 0) + 1
+        assert counts["POTRF"] == nt
+        assert counts["TRSM"] == nt * (nt - 1) // 2
+        assert counts["SYRK"] == nt * (nt - 1) // 2
+        assert counts["GEMM"] == sum(
+            (nt - 1 - k) * (nt - 2 - k) // 2 for k in range(nt)
+        )
+
+    def test_sequential_order_is_valid(self):
+        """Enumeration order must itself be a topological order."""
+        g = build_graph(cholesky_tasks(6))
+        for i, succs in g.successors.items():
+            for j in succs:
+                assert i < j
+
+    def test_nt_one(self):
+        tasks = cholesky_tasks(1)
+        assert len(tasks) == 1
+        assert tasks[0].klass == "POTRF"
+
+    def test_rejects_bad_nt(self):
+        with pytest.raises(ValueError):
+            cholesky_tasks(0)
+
+
+class TestTrimmedEnumeration:
+    def test_counts_match_analysis(self, sparse_tlr):
+        nt = sparse_tlr.n_tiles
+        ana = analyze_ranks(sparse_tlr.rank_array(), nt)
+        tasks = cholesky_tasks(nt, ana)
+        counts = {}
+        for t in tasks:
+            counts[t.klass] = counts.get(t.klass, 0) + 1
+        assert counts == ana.task_counts()
+
+    def test_trimmed_is_subset_of_full(self, sparse_tlr):
+        nt = sparse_tlr.n_tiles
+        ana = analyze_ranks(sparse_tlr.rank_array(), nt)
+        full = {t.uid for t in cholesky_tasks(nt)}
+        trimmed = {t.uid for t in cholesky_tasks(nt, ana)}
+        assert trimmed <= full
+        assert len(trimmed) < len(full)
+
+    def test_no_task_on_symbolically_null_tile(self, sparse_tlr):
+        nt = sparse_tlr.n_tiles
+        ana = analyze_ranks(sparse_tlr.rank_array(), nt)
+        for t in cholesky_tasks(nt, ana):
+            for d in t.writes:
+                assert ana.is_nonzero_final(*d), (t, d)
+
+    def test_mismatched_analysis_rejected(self, sparse_tlr):
+        ana = analyze_ranks(sparse_tlr.rank_array(), sparse_tlr.n_tiles)
+        with pytest.raises(ValueError):
+            cholesky_tasks(sparse_tlr.n_tiles + 1, ana)
+
+
+class TestFlopEstimates:
+    def test_flops_attached_when_inputs_given(self, sparse_tlr):
+        nt = sparse_tlr.n_tiles
+        ranks = sparse_tlr.rank_matrix()
+        tasks = cholesky_tasks(
+            nt, tile_size=sparse_tlr.tile_size, rank_of=lambda m, k: ranks[m, k]
+        )
+        potrf = [t for t in tasks if t.klass == "POTRF"]
+        assert all(t.flops > 0 for t in potrf)
+        # null-tile tasks carry zero flops
+        null_trsm = [
+            t for t in tasks if t.klass == "TRSM" and ranks[t.params[0], t.params[1]] == 0
+        ]
+        assert null_trsm and all(t.flops == 0.0 for t in null_trsm)
+
+    def test_flops_zero_without_inputs(self):
+        assert all(t.flops == 0.0 for t in cholesky_tasks(4))
+
+    def test_priorities_set(self):
+        tasks = cholesky_tasks(6)
+        assert all(t.priority > 0 for t in tasks)
+        potrf0 = next(t for t in tasks if t.uid == ("POTRF", (0,)))
+        gemm = next(t for t in tasks if t.klass == "GEMM")
+        assert potrf0.priority > gemm.priority

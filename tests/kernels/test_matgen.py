@@ -1,0 +1,97 @@
+"""Tests for tile-wise RBF matrix generation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.matgen import RBFMatrixGenerator, dense_rbf_matrix
+from repro.kernels.rbf import WendlandC2RBF
+
+
+@pytest.fixture()
+def gen(rng):
+    pts = rng.random((130, 3))
+    return RBFMatrixGenerator(pts, shape_parameter=0.3, tile_size=50, nugget=1e-8)
+
+
+class TestRBFMatrixGenerator:
+    def test_tile_grid_geometry(self, gen):
+        assert gen.n == 130
+        assert gen.n_tiles == 3
+        assert gen.tile_range(0) == (0, 50)
+        assert gen.tile_range(2) == (100, 130)  # short last tile
+
+    def test_tiles_assemble_to_dense(self, gen):
+        dense = gen.dense()
+        b = gen.tile_size
+        for i in range(gen.n_tiles):
+            for j in range(gen.n_tiles):
+                tile = gen.tile(i, j)
+                lo_i, hi_i = gen.tile_range(i)
+                lo_j, hi_j = gen.tile_range(j)
+                assert np.allclose(tile, dense[lo_i:hi_i, lo_j:hi_j])
+
+    def test_symmetry(self, gen):
+        assert np.allclose(gen.tile(0, 1), gen.tile(1, 0).T)
+
+    def test_unit_diagonal_plus_nugget(self, gen):
+        diag = np.diag(gen.tile(0, 0))
+        assert np.allclose(diag, 1.0 + 1e-8)
+
+    def test_nugget_only_on_diagonal_tiles(self, rng):
+        pts = rng.random((60, 3))
+        g0 = RBFMatrixGenerator(pts, 0.3, 30, nugget=0.0)
+        g1 = RBFMatrixGenerator(pts, 0.3, 30, nugget=0.5)
+        assert np.allclose(g0.tile(1, 0), g1.tile(1, 0))
+        assert not np.allclose(g0.tile(1, 1), g1.tile(1, 1))
+
+    def test_spd_with_nugget(self, rng):
+        pts = rng.random((80, 3))
+        g = RBFMatrixGenerator(pts, 0.5, 40, nugget=1e-8)
+        np.linalg.cholesky(g.dense())  # must not raise
+
+    def test_entries_match_kernel_formula(self, rng):
+        pts = rng.random((20, 3))
+        g = RBFMatrixGenerator(pts, 0.25, 20, nugget=0.0)
+        a = g.tile(0, 0)
+        i, j = 3, 7
+        r = np.linalg.norm(pts[i] - pts[j])
+        assert a[i, j] == pytest.approx(np.exp(-((r / 0.25) ** 2)))
+
+    def test_out_of_range_tile_raises(self, gen):
+        with pytest.raises(IndexError):
+            gen.tile(3, 0)
+        with pytest.raises(IndexError):
+            gen.tile_range(-1)
+
+    def test_rejects_bad_inputs(self, rng):
+        pts = rng.random((10, 3))
+        with pytest.raises(ValueError):
+            RBFMatrixGenerator(pts, shape_parameter=0.0, tile_size=5)
+        with pytest.raises(ValueError):
+            RBFMatrixGenerator(pts, shape_parameter=0.1, tile_size=0)
+        with pytest.raises(ValueError):
+            RBFMatrixGenerator(pts, 0.1, 5, nugget=-1.0)
+        with pytest.raises(ValueError):
+            RBFMatrixGenerator(rng.random((10, 2)), 0.1, 5)
+
+    def test_custom_kernel_compact_support_gives_exact_zeros(self, rng):
+        """Wendland kernel: entries beyond the support radius are
+        exactly zero — the 'sparse' end of the data-structure mixture."""
+        pts = rng.random((100, 3)) * 10.0
+        g = RBFMatrixGenerator(
+            pts, shape_parameter=0.5, tile_size=50, kernel=WendlandC2RBF(), nugget=0.0
+        )
+        a = g.dense()
+        assert (a == 0.0).sum() > 0
+
+
+class TestDenseRBFMatrix:
+    def test_matches_generator(self, rng):
+        pts = rng.random((40, 3))
+        a = dense_rbf_matrix(pts, 0.3)
+        g = RBFMatrixGenerator(pts, 0.3, 40)
+        assert np.allclose(a, g.dense())
+
+    def test_shape(self, rng):
+        pts = rng.random((25, 3))
+        assert dense_rbf_matrix(pts, 0.2).shape == (25, 25)

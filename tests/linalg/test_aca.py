@@ -1,0 +1,108 @@
+"""Tests for ACA compressed-format generation (the paper's future
+work: build the operator directly in compressed form)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import min_spacing, virus_population
+from repro.kernels import RBFMatrixGenerator
+from repro.linalg import TLRMatrix
+from repro.linalg.aca import ACAGenerator, aca_partial
+from repro.linalg.lowrank import LowRankFactor
+
+
+def sampled(matrix):
+    row = lambda i: matrix[i, :]
+    col = lambda j: matrix[:, j]
+    return row, col, matrix.shape
+
+
+class TestACAPartial:
+    def test_exact_low_rank(self, rng):
+        a = rng.standard_normal((40, 5)) @ rng.standard_normal((5, 30))
+        f = aca_partial(*sampled(a), tol=1e-10)
+        assert isinstance(f, LowRankFactor)
+        assert f.rank == 5
+        assert np.allclose(f.to_dense(), a, atol=1e-7 * np.linalg.norm(a))
+
+    def test_smooth_kernel_block(self, rng):
+        """Separated-cluster Gaussian interaction compresses well."""
+        x = rng.random((50, 3))
+        y = rng.random((60, 3)) + 5.0
+        d = np.linalg.norm(x[:, None] - y[None, :], axis=2)
+        a = np.exp(-(d / 4.0) ** 2)
+        f = aca_partial(*sampled(a), tol=1e-8)
+        assert f is not None
+        assert f.rank < 25
+        err = np.linalg.norm(a - f.to_dense()) / np.linalg.norm(a)
+        assert err < 1e-6
+
+    def test_zero_block_returns_none(self):
+        a = np.zeros((20, 20))
+        assert aca_partial(*sampled(a), tol=1e-8) is None
+
+    def test_tiny_block_below_tolerance(self, rng):
+        a = 1e-9 * rng.standard_normal((15, 15))
+        assert aca_partial(*sampled(a), tol=1e-4) is None
+
+    def test_full_rank_hits_budget(self, rng):
+        a = rng.standard_normal((30, 30))  # incompressible
+        assert aca_partial(*sampled(a), tol=1e-12, max_rank=5) is None
+
+    def test_accuracy_tracks_tolerance(self, rng):
+        x = rng.random((64, 3))
+        y = rng.random((64, 3)) + 3.0
+        d = np.linalg.norm(x[:, None] - y[None, :], axis=2)
+        a = np.exp(-(d / 2.0) ** 2)
+        for tol in (1e-4, 1e-8):
+            f = aca_partial(*sampled(a), tol=tol, max_rank=64)
+            err = np.linalg.norm(a - f.to_dense())
+            assert err < 50 * tol * max(np.linalg.norm(a), 1.0)
+
+
+class TestACAGenerator:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        pts = virus_population(4, points_per_virus=300, cube_edge=1.7, seed=5)
+        s = min_spacing(pts)
+        gen = RBFMatrixGenerator(pts, 0.5 * s * 30, tile_size=150, nugget=1e-4)
+        return gen
+
+    def test_matches_svd_compression_structurally(self, setup):
+        gen = setup
+        acc = 1e-6
+        svd_tlr = TLRMatrix.compress(gen.tile, gen.n, gen.tile_size, acc)
+        aca = ACAGenerator(gen, accuracy=acc)
+        aca_tlr = aca.compress()
+        # same null pattern (up to tolerance-borderline tiles)
+        r_svd = svd_tlr.rank_matrix() > 0
+        r_aca = aca_tlr.rank_matrix() > 0
+        disagreement = np.count_nonzero(r_svd != r_aca)
+        assert disagreement <= max(2, 0.05 * r_svd.size)
+        # numerically the same operator
+        err = np.linalg.norm(aca_tlr.to_dense() - svd_tlr.to_dense())
+        assert err / np.linalg.norm(svd_tlr.to_dense()) < 1e-4
+
+    def test_factorization_through_aca_matrix(self, setup):
+        gen = setup
+        aca_tlr = ACAGenerator(gen, accuracy=1e-6).compress()
+        from repro.core import hicma_parsec_factorize
+
+        result = hicma_parsec_factorize(aca_tlr)
+        assert result.residual(gen.dense()) < 1e-3
+
+    def test_stats_recorded(self, setup):
+        gen = setup
+        aca = ACAGenerator(gen, accuracy=1e-6)
+        aca.compress()
+        assert aca.stats["diagonal"] == gen.n_tiles
+        assert aca.stats["aca"] > 0
+        total_off = gen.n_tiles * (gen.n_tiles - 1) // 2
+        assert (
+            aca.stats["aca"] + aca.stats["dense_fallback"] + aca.stats["null"]
+            == total_off
+        )
+
+    def test_rejects_non_generator(self):
+        with pytest.raises(TypeError):
+            ACAGenerator(object(), accuracy=1e-6)

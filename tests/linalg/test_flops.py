@@ -1,0 +1,48 @@
+"""Tests for the flop-count formulas."""
+
+import pytest
+
+from repro.linalg import flops as fl
+
+
+class TestDenseCounts:
+    def test_potrf_cubic_leading_term(self):
+        assert fl.potrf_flops(1000) == pytest.approx(1000**3 / 3, rel=1e-2)
+
+    def test_trsm(self):
+        assert fl.trsm_dense_flops(100) == 100**3
+        assert fl.trsm_dense_flops(100, ncols=10) == 100 * 100 * 10
+
+    def test_syrk(self):
+        assert fl.syrk_dense_flops(100) == 100 * 100 * 101
+
+    def test_gemm(self):
+        assert fl.gemm_dense_flops(100) == 2 * 100**3
+
+
+class TestTLRCounts:
+    def test_tlr_cheaper_than_dense(self):
+        b, k = 1000, 20
+        assert fl.trsm_tlr_flops(b, k) < fl.trsm_dense_flops(b)
+        assert fl.syrk_tlr_flops(b, k) < fl.syrk_dense_flops(b)
+        assert fl.gemm_tlr_flops(b, k, k, k) < fl.gemm_dense_flops(b)
+
+    def test_tlr_trsm_scales_linearly_in_rank(self):
+        assert fl.trsm_tlr_flops(100, 20) == 2 * fl.trsm_tlr_flops(100, 10)
+
+    def test_gemm_null_operand_free(self):
+        assert fl.gemm_tlr_flops(100, 0, 5, 5) == 0.0
+        assert fl.gemm_tlr_flops(100, 5, 0, 5) == 0.0
+
+    def test_gemm_monotone_in_ranks(self):
+        base = fl.gemm_tlr_flops(500, 10, 10, 10)
+        assert fl.gemm_tlr_flops(500, 20, 10, 10) > base
+        assert fl.gemm_tlr_flops(500, 10, 20, 10) > base
+        assert fl.gemm_tlr_flops(500, 10, 10, 20) > base
+
+    def test_compression_dominates_single_tile_kernels(self):
+        """SVD compression of a tile costs more than any single dense
+        kernel on it — the premise behind Fig. 11's breakdown."""
+        b = 500
+        assert fl.compression_flops(b) > fl.gemm_dense_flops(b)
+        assert fl.compression_flops(b) > fl.potrf_flops(b)

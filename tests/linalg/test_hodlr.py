@@ -1,0 +1,94 @@
+"""Tests for the HODLR baseline (weak admissibility)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.hodlr import build_hodlr
+
+
+@pytest.fixture(scope="module")
+def operator_1d():
+    """A 1D-ordered exponential kernel — HODLR's sweet spot."""
+    x = np.linspace(0.0, 1.0, 512)
+    a = np.exp(-np.abs(x[:, None] - x[None, :]) / 0.1)
+    return a + 1e-8 * np.eye(len(x))
+
+
+class TestConstruction:
+    def test_roundtrip(self, operator_1d):
+        h = build_hodlr(operator_1d, accuracy=1e-8, leaf_size=64)
+        err = np.linalg.norm(h.to_dense() - operator_1d) / np.linalg.norm(
+            operator_1d
+        )
+        assert err < 1e-6
+
+    def test_levels(self, operator_1d):
+        h = build_hodlr(operator_1d, accuracy=1e-8, leaf_size=64)
+        assert h.n_levels == 4  # 512 -> 256 -> 128 -> 64 leaves
+
+    def test_leaf_only(self, operator_1d):
+        h = build_hodlr(operator_1d, accuracy=1e-8, leaf_size=1024)
+        assert h.n_levels == 1
+        assert np.allclose(h.to_dense(), operator_1d)
+
+    def test_memory_savings_on_1d(self, operator_1d):
+        h = build_hodlr(operator_1d, accuracy=1e-8, leaf_size=64)
+        assert h.memory_bytes() < 0.5 * operator_1d.nbytes
+
+    def test_rank_profile_levels(self, operator_1d):
+        h = build_hodlr(operator_1d, accuracy=1e-8, leaf_size=64)
+        prof = h.rank_profile()
+        assert len(prof) == 3  # internal levels
+        assert all(r >= 1 for r in prof)
+        # 1D exponential kernel: ranks stay small at every level
+        assert max(prof) < 30
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            build_hodlr(np.zeros((4, 5)), accuracy=1e-6)
+        with pytest.raises(ValueError):
+            build_hodlr(np.eye(8), accuracy=1e-6, leaf_size=1)
+
+    def test_incompressible_falls_back_dense(self, rng):
+        a = rng.standard_normal((256, 256))
+        a = a @ a.T + 256 * np.eye(256)
+        h = build_hodlr(a, accuracy=1e-12, leaf_size=64)
+        # random SPD: off-diagonal blocks are full-rank -> dense
+        # fallback keeps the representation exact
+        assert np.allclose(h.to_dense(), a, atol=1e-8)
+
+
+class TestMatvec:
+    def test_matches_dense(self, operator_1d, rng):
+        h = build_hodlr(operator_1d, accuracy=1e-10, leaf_size=64)
+        x = rng.standard_normal(operator_1d.shape[0])
+        assert np.allclose(h.matvec(x), operator_1d @ x, atol=1e-7)
+
+    def test_multi_rhs(self, operator_1d, rng):
+        h = build_hodlr(operator_1d, accuracy=1e-10, leaf_size=64)
+        x = rng.standard_normal((operator_1d.shape[0], 3))
+        assert np.allclose(h.matvec(x), operator_1d @ x, atol=1e-7)
+
+    def test_wrong_size(self, operator_1d):
+        h = build_hodlr(operator_1d, accuracy=1e-8)
+        with pytest.raises(ValueError):
+            h.matvec(np.ones(7))
+
+
+class TestWeakAdmissibilityWeakness:
+    def test_3d_ranks_grow_with_block_size(self):
+        """The Section II claim: on a 3D geometry, HODLR's top-level
+        off-diagonal rank grows with N (the block covers ever more
+        interacting near-field pairs), while TLR tile ranks stay
+        bounded by the tile size."""
+        from repro.geometry import virus_population, min_spacing
+
+        ranks = []
+        for nv in (2, 4, 8):
+            pts = virus_population(nv, points_per_virus=300, seed=7)
+            s = min_spacing(pts)
+            d = np.linalg.norm(pts[:, None] - pts[None, :], axis=2)
+            a = np.exp(-((d / (0.5 * s * 30)) ** 2)) + 1e-8 * np.eye(len(pts))
+            h = build_hodlr(a, accuracy=1e-6, leaf_size=150)
+            ranks.append(h.rank_profile()[0])
+        assert ranks[-1] > ranks[0]

@@ -1,0 +1,194 @@
+"""Tests for dense and TLR tile kernels: the four Cholesky kernels
+must be algebraically equivalent across all tile-representation
+combinations (the paper's mixture of data structures)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import kernels_dense as kd
+from repro.linalg.kernels_tlr import gemm_tile, potrf_tile, syrk_tile, trsm_tile
+from repro.linalg.lowrank import truncated_svd
+from repro.linalg.tile import DenseTile, LowRankTile, NullTile
+
+
+def lr_tile(rng, n, k, scale=1.0):
+    block = scale * rng.standard_normal((n, k)) @ rng.standard_normal((k, n))
+    return LowRankTile(truncated_svd(block, tol=1e-12))
+
+
+def spd_tile(rng, n):
+    a = rng.standard_normal((n, n))
+    return DenseTile(a @ a.T + n * np.eye(n))
+
+
+class TestDenseKernels:
+    def test_potrf(self, rng):
+        a = spd_tile(rng, 16).data
+        l = kd.potrf(a)
+        assert np.allclose(np.tril(l) @ np.tril(l).T, a)
+
+    def test_potrf_raises_on_indefinite(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            kd.potrf(-np.eye(4))
+
+    def test_trsm(self, rng):
+        l = kd.potrf(spd_tile(rng, 12).data)
+        a = rng.standard_normal((12, 12))
+        out = kd.trsm(l, a)
+        assert np.allclose(out @ l.T, a)
+
+    def test_syrk(self, rng):
+        c = rng.standard_normal((10, 10))
+        a = rng.standard_normal((10, 10))
+        assert np.allclose(kd.syrk(c, a), c - a @ a.T)
+
+    def test_gemm(self, rng):
+        c = rng.standard_normal((10, 10))
+        a = rng.standard_normal((10, 10))
+        b = rng.standard_normal((10, 10))
+        assert np.allclose(kd.gemm(c, a, b), c - a @ b.T)
+
+
+class TestPotrfTile:
+    def test_dense(self, rng):
+        a = spd_tile(rng, 16)
+        l = potrf_tile(a)
+        assert isinstance(l, DenseTile)
+        assert np.allclose(np.tril(l.data) @ np.tril(l.data).T, a.data)
+
+    def test_rejects_non_dense(self, rng):
+        with pytest.raises(TypeError):
+            potrf_tile(lr_tile(rng, 8, 2))
+        with pytest.raises(TypeError):
+            potrf_tile(NullTile((8, 8)))
+
+
+class TestTrsmTile:
+    @pytest.fixture()
+    def l_kk(self, rng):
+        return potrf_tile(spd_tile(rng, 16))
+
+    def test_null_passthrough(self, l_kk):
+        t = NullTile((16, 16))
+        assert trsm_tile(l_kk, t) is t
+
+    def test_low_rank(self, rng, l_kk):
+        a = lr_tile(rng, 16, 3)
+        out = trsm_tile(l_kk, a)
+        assert isinstance(out, LowRankTile)
+        assert out.rank == 3  # TRSM never changes the rank
+        ref = kd.trsm(l_kk.data, a.to_dense())
+        assert np.allclose(out.to_dense(), ref)
+
+    def test_dense(self, rng, l_kk):
+        a = DenseTile(rng.standard_normal((16, 16)))
+        out = trsm_tile(l_kk, a)
+        assert isinstance(out, DenseTile)
+        assert np.allclose(out.data, kd.trsm(l_kk.data, a.data))
+
+    def test_does_not_mutate_operand(self, rng, l_kk):
+        a = lr_tile(rng, 16, 2)
+        before = a.to_dense()
+        trsm_tile(l_kk, a)
+        assert np.array_equal(a.to_dense(), before)
+
+
+class TestSyrkTile:
+    def test_null_noop(self, rng):
+        c = spd_tile(rng, 12)
+        out = syrk_tile(c, NullTile((12, 12)))
+        assert np.array_equal(out.data, c.data)
+
+    def test_low_rank(self, rng):
+        c = spd_tile(rng, 12)
+        a = lr_tile(rng, 12, 3)
+        out = syrk_tile(c, a)
+        ref = kd.syrk(c.data, a.to_dense())
+        assert np.allclose(out.data, ref)
+
+    def test_dense(self, rng):
+        c = spd_tile(rng, 12)
+        a = DenseTile(rng.standard_normal((12, 12)))
+        out = syrk_tile(c, a)
+        assert np.allclose(out.data, kd.syrk(c.data, a.data))
+
+    def test_rejects_non_dense_target(self, rng):
+        with pytest.raises(TypeError):
+            syrk_tile(lr_tile(rng, 8, 2), lr_tile(rng, 8, 2))
+
+
+class TestGemmTile:
+    """All 3x3x3 = 27 combinations of (C, A, B) representations must
+    produce C - A B^T up to the recompression tolerance."""
+
+    N = 16
+    TOL = 1e-9
+
+    def _tiles(self, rng, kind, k=3):
+        if kind == "null":
+            return NullTile((self.N, self.N))
+        if kind == "lr":
+            return lr_tile(rng, self.N, k)
+        return DenseTile(rng.standard_normal((self.N, self.N)))
+
+    @pytest.mark.parametrize("ck", ["null", "lr", "dense"])
+    @pytest.mark.parametrize("ak", ["null", "lr", "dense"])
+    @pytest.mark.parametrize("bk", ["null", "lr", "dense"])
+    def test_all_combinations(self, rng, ck, ak, bk):
+        c = self._tiles(rng, ck)
+        a = self._tiles(rng, ak)
+        b = self._tiles(rng, bk)
+        ref = c.to_dense() - a.to_dense() @ b.to_dense().T
+        out = gemm_tile(c, a, b, tol=self.TOL, max_rank=self.N)
+        assert np.allclose(out.to_dense(), ref, atol=1e-6), (ck, ak, bk)
+
+    def test_null_operand_returns_same_object(self, rng):
+        c = self._tiles(rng, "lr")
+        out = gemm_tile(c, NullTile((self.N, self.N)), self._tiles(rng, "lr"),
+                        tol=self.TOL)
+        assert out is c
+
+    def test_fill_in(self, rng):
+        """null C with non-null operands becomes non-null (fill-in)."""
+        out = gemm_tile(
+            NullTile((self.N, self.N)),
+            self._tiles(rng, "lr"),
+            self._tiles(rng, "lr"),
+            tol=self.TOL,
+        )
+        assert not out.is_null
+
+    def test_rank_growth_is_rounded(self, rng):
+        """Repeated accumulation must not inflate the stored rank
+        beyond the numerical rank."""
+        c = self._tiles(rng, "lr", k=2)
+        a = self._tiles(rng, "lr", k=2)
+        b = self._tiles(rng, "lr", k=2)
+        out = gemm_tile(c, a, b, tol=1e-8)
+        # numerical rank of the sum is at most 2 + 2
+        assert out.rank <= 4
+
+    def test_cancellation_produces_null(self, rng):
+        a = self._tiles(rng, "lr", k=2)
+        b = self._tiles(rng, "lr", k=2)
+        prod = a.to_dense() @ b.to_dense().T
+        c = DenseTile(prod)
+        out = gemm_tile(c, a, b, tol=1e-6, max_rank=8)
+        # C - A B^T == 0: dense path keeps a DenseTile of zeros
+        assert np.allclose(out.to_dense(), 0.0, atol=1e-8)
+
+    def test_max_rank_densifies(self, rng):
+        """If the rounded rank exceeds max_rank, the tile goes dense."""
+        c = self._tiles(rng, "lr", k=6)
+        a = self._tiles(rng, "lr", k=6)
+        b = self._tiles(rng, "lr", k=6)
+        out = gemm_tile(c, a, b, tol=1e-14, max_rank=2)
+        assert isinstance(out, DenseTile)
+
+    def test_operands_not_mutated(self, rng):
+        c, a, b = (self._tiles(rng, "lr") for _ in range(3))
+        ca, aa, bb = c.to_dense(), a.to_dense(), b.to_dense()
+        gemm_tile(c, a, b, tol=self.TOL)
+        assert np.array_equal(c.to_dense(), ca)
+        assert np.array_equal(a.to_dense(), aa)
+        assert np.array_equal(b.to_dense(), bb)

@@ -1,0 +1,65 @@
+"""Tests for TLR matrix persistence."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.serialization import load_tlr, save_tlr
+from repro.linalg.tile import TileKind
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, sparse_tlr, tmp_path):
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        back = load_tlr(path)
+        assert back.n == sparse_tlr.n
+        assert back.tile_size == sparse_tlr.tile_size
+        assert back.accuracy == sparse_tlr.accuracy
+        assert back.max_rank == sparse_tlr.max_rank
+        assert np.array_equal(back.rank_matrix(), sparse_tlr.rank_matrix())
+        assert np.array_equal(back.to_dense(), sparse_tlr.to_dense())
+
+    def test_tile_kinds_preserved(self, sparse_tlr, tmp_path):
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        back = load_tlr(path)
+        for (m, k), tile in sparse_tlr:
+            assert back.tile(m, k).kind is tile.kind
+
+    def test_factorization_after_reload(self, sparse_tlr, sparse_dense_ref, tmp_path):
+        from repro.core import hicma_parsec_factorize
+
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        back = load_tlr(path)
+        r = hicma_parsec_factorize(back)
+        assert r.residual(sparse_dense_ref) < 1e-4
+
+    def test_uneven_tiles(self, tmp_path, rng):
+        from repro.linalg.tile_matrix import TLRMatrix
+
+        n = 130
+        a = rng.standard_normal((n, n))
+        a = a @ a.T + n * np.eye(n)
+        t = TLRMatrix.from_dense(a, 50, accuracy=1e-10)
+        path = tmp_path / "u.npz"
+        save_tlr(t, path)
+        back = load_tlr(path)
+        assert back.tile(2, 2).shape == (30, 30)
+        assert np.allclose(back.to_dense(), t.to_dense())
+
+    def test_compressed_file_smaller_than_dense(self, sparse_tlr, tmp_path):
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        assert path.stat().st_size < sparse_tlr.dense_bytes()
+
+    def test_corrupt_version_rejected(self, sparse_tlr, tmp_path):
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["header"] = arrays["header"].copy()
+        arrays["header"][0] = 99
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_tlr(path)

@@ -1,0 +1,68 @@
+"""Tests for the tile taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.lowrank import LowRankFactor
+from repro.linalg.tile import DenseTile, LowRankTile, NullTile, TileKind, as_tile
+
+
+class TestDenseTile:
+    def test_basics(self, rng):
+        data = rng.standard_normal((6, 4))
+        t = DenseTile(data)
+        assert t.kind is TileKind.DENSE
+        assert t.shape == (6, 4)
+        assert t.rank == 4
+        assert t.nbytes == 6 * 4 * 8
+        assert not t.is_null
+        assert np.allclose(t.to_dense(), data)
+
+    def test_to_dense_is_copy(self, rng):
+        t = DenseTile(rng.standard_normal((3, 3)))
+        d = t.to_dense()
+        d[0, 0] = 99.0
+        assert t.data[0, 0] != 99.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            DenseTile(np.zeros(5))
+
+
+class TestLowRankTile:
+    def test_basics(self, rng):
+        f = LowRankFactor(rng.standard_normal((8, 2)), rng.standard_normal((8, 2)))
+        t = LowRankTile(f)
+        assert t.kind is TileKind.LOW_RANK
+        assert t.rank == 2
+        assert t.shape == (8, 8)
+        assert np.allclose(t.to_dense(), f.to_dense())
+        assert t.nbytes == 2 * 8 * 2 * 8
+
+    def test_rejects_non_factor(self):
+        with pytest.raises(TypeError):
+            LowRankTile(np.zeros((4, 4)))
+
+
+class TestNullTile:
+    def test_basics(self):
+        t = NullTile((5, 7))
+        assert t.kind is TileKind.NULL
+        assert t.rank == 0
+        assert t.nbytes == 0
+        assert t.is_null
+        assert np.array_equal(t.to_dense(), np.zeros((5, 7)))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            NullTile((0, 5))
+        with pytest.raises(ValueError):
+            NullTile((5,))
+
+
+class TestAsTile:
+    def test_dispatch(self, rng):
+        assert isinstance(as_tile(None, (4, 4)), NullTile)
+        assert isinstance(as_tile(rng.standard_normal((4, 4)), (4, 4)), DenseTile)
+        f = LowRankFactor(np.ones((4, 1)), np.ones((4, 1)))
+        assert isinstance(as_tile(f, (4, 4)), LowRankTile)

@@ -1,0 +1,115 @@
+"""Tests for the symmetric TLR tile-matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.tile import DenseTile, NullTile, TileKind
+from repro.linalg.tile_matrix import TLRMatrix
+
+
+class TestCompression:
+    def test_roundtrip_within_tolerance(self, sparse_generator, sparse_dense_ref):
+        g = sparse_generator
+        a = TLRMatrix.compress(g.tile, g.n, g.tile_size, accuracy=1e-8)
+        err = np.linalg.norm(a.to_dense() - sparse_dense_ref) / np.linalg.norm(
+            sparse_dense_ref
+        )
+        assert err < 1e-6
+
+    def test_diagonal_tiles_dense(self, sparse_tlr):
+        for k in range(sparse_tlr.n_tiles):
+            assert isinstance(sparse_tlr.tile(k, k), DenseTile)
+
+    def test_has_null_tiles_in_sparse_regime(self, sparse_tlr):
+        kinds = {t.kind for (m, k), t in sparse_tlr if m != k}
+        assert TileKind.NULL in kinds
+        assert TileKind.LOW_RANK in kinds
+
+    def test_density_definition(self, sparse_tlr):
+        """density = non-null off-diagonal tiles / off-diagonal tiles."""
+        nt = sparse_tlr.n_tiles
+        off = [(m, k) for k in range(nt) for m in range(k + 1, nt)]
+        nonnull = sum(1 for m, k in off if not sparse_tlr.tile(m, k).is_null)
+        assert sparse_tlr.density() == pytest.approx(nonnull / len(off))
+
+    def test_from_dense_equivalent(self, sparse_generator):
+        g = sparse_generator
+        a1 = TLRMatrix.compress(g.tile, g.n, g.tile_size, accuracy=1e-6)
+        a2 = TLRMatrix.from_dense(g.dense(), g.tile_size, accuracy=1e-6)
+        assert np.array_equal(a1.rank_matrix(), a2.rank_matrix())
+
+    def test_memory_smaller_than_dense(self, sparse_tlr):
+        assert sparse_tlr.memory_bytes() < sparse_tlr.dense_bytes()
+
+    def test_uneven_tiling(self, rng):
+        """Matrix order not divisible by tile size (short last tile)."""
+        n = 130
+        a = rng.standard_normal((n, n))
+        a = a @ a.T + n * np.eye(n)
+        t = TLRMatrix.from_dense(a, tile_size=50, accuracy=1e-10)
+        assert t.n_tiles == 3
+        assert t.tile(2, 2).shape == (30, 30)
+        assert t.tile(2, 0).shape == (30, 50)
+        assert np.allclose(t.to_dense(), a, atol=1e-7)
+
+
+class TestAccess:
+    def test_upper_triangle_raises(self, sparse_tlr):
+        with pytest.raises(IndexError):
+            sparse_tlr.tile(0, 1)
+        with pytest.raises(IndexError):
+            sparse_tlr.set_tile(0, 1, DenseTile(np.zeros((200, 200))))
+
+    def test_set_tile_shape_check(self, sparse_tlr):
+        with pytest.raises(ValueError):
+            sparse_tlr.copy().set_tile(1, 0, DenseTile(np.zeros((3, 3))))
+
+    def test_set_tile_replaces(self, sparse_tlr):
+        a = sparse_tlr.copy()
+        shape = a.tile(1, 0).shape
+        a.set_tile(1, 0, NullTile(shape))
+        assert a.tile(1, 0).is_null
+
+    def test_copy_is_independent(self, sparse_tlr):
+        a = sparse_tlr.copy()
+        shape = a.tile(2, 0).shape
+        a.set_tile(2, 0, NullTile(shape))
+        assert a.tile(2, 0).is_null != sparse_tlr.tile(2, 0).is_null or (
+            sparse_tlr.tile(2, 0).is_null
+        )
+
+
+class TestStructureQueries:
+    def test_rank_matrix_symmetric(self, sparse_tlr):
+        r = sparse_tlr.rank_matrix()
+        assert np.array_equal(r, r.T)
+
+    def test_rank_array_layout(self, sparse_tlr):
+        """1D layout rank[k * NT + m] must match the rank matrix."""
+        nt = sparse_tlr.n_tiles
+        r1 = sparse_tlr.rank_array()
+        r2 = sparse_tlr.rank_matrix()
+        for k in range(nt):
+            for m in range(k, nt):
+                assert r1[k * nt + m] == r2[m, k]
+
+    def test_rank_stats_exclude_nulls(self, sparse_tlr):
+        stats = sparse_tlr.off_diagonal_rank_stats()
+        assert stats["min"] >= 1
+        assert stats["max"] >= stats["avg"] >= stats["min"]
+
+    def test_repr(self, sparse_tlr):
+        s = repr(sparse_tlr)
+        assert "TLRMatrix" in s and "density" in s
+
+
+class TestValidation:
+    def test_missing_tile_rejected(self):
+        with pytest.raises(ValueError, match="missing tile"):
+            TLRMatrix(10, 5, {}, accuracy=1e-4)
+
+    def test_upper_tile_rejected(self):
+        tiles = {(0, 0): DenseTile(np.eye(5)), (1, 1): DenseTile(np.eye(5)),
+                 (1, 0): NullTile((5, 5)), (0, 1): NullTile((5, 5))}
+        with pytest.raises(ValueError):
+            TLRMatrix(10, 5, tiles, accuracy=1e-4)

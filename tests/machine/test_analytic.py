@@ -1,0 +1,133 @@
+"""Tests for the closed-form at-scale performance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicma_parsec import BAND_ONLY, HICMA_PARSEC, TRIM_ONLY
+from repro.core.lorapo import LORAPO, FrameworkConfig
+from repro.core.rank_model import SyntheticRankField
+from repro.machine import FUGAKU, SHAHEEN_II, AnalyticModel
+
+
+@pytest.fixture(scope="module")
+def field():
+    """A mid-size paper-like workload (N=1.49M, b=2390)."""
+    return SyntheticRankField.from_parameters(
+        1_490_000, 2390, shape_parameter=3.7e-4, accuracy=1e-4
+    )
+
+
+NOTRIM_FULL = FrameworkConfig(
+    name="HiCMA-PaRSEC (no trim)",
+    trim=False,
+    data_distribution=HICMA_PARSEC.data_distribution,
+    exec_distribution=HICMA_PARSEC.exec_distribution,
+    null_rank_floor=None,
+)
+
+
+class TestComponents:
+    def test_components_positive_and_sum(self, field):
+        r = AnalyticModel(SHAHEEN_II, 64, HICMA_PARSEC).factorization_time(field)
+        assert r.t_critical_path > 0
+        assert r.t_work > 0
+        # effective cp includes hops/chains on top of the optimistic one
+        assert r.t_cp_effective >= r.t_critical_path
+        assert r.makespan == pytest.approx(
+            r.t_cp_effective + r.t_work + r.t_comm
+        )
+        assert 0 < r.cp_efficiency <= 1.0
+
+    def test_task_counts(self, field):
+        trim = AnalyticModel(SHAHEEN_II, 64, HICMA_PARSEC).factorization_time(field)
+        full = AnalyticModel(SHAHEEN_II, 64, NOTRIM_FULL).factorization_time(field)
+        nt = field.nt
+        full_expected = (
+            nt
+            + 2 * (nt * (nt - 1) // 2)
+            + sum((nt - 1 - k) * (nt - 2 - k) // 2 for k in range(nt - 1))
+        )
+        assert full.n_tasks == full_expected
+        assert trim.n_tasks < full.n_tasks
+        assert trim.n_null_tasks == 0
+        assert full.n_null_tasks > 0
+
+    def test_densities_reported(self, field):
+        r = AnalyticModel(SHAHEEN_II, 64, HICMA_PARSEC).factorization_time(field)
+        assert 0 < r.initial_density <= r.final_density <= 1.0
+
+
+class TestPaperShapes:
+    """The qualitative results of the evaluation section."""
+
+    def test_trimming_always_helps(self, field):
+        """Fig. 6: trimming has a net positive impact."""
+        for nodes in (16, 64):
+            t = AnalyticModel(SHAHEEN_II, nodes, TRIM_ONLY).factorization_time(field)
+            f = AnalyticModel(
+                SHAHEEN_II,
+                nodes,
+                FrameworkConfig(
+                    "no-trim", False, TRIM_ONLY.data_distribution, None, None
+                ),
+            ).factorization_time(field)
+            assert t.makespan < f.makespan
+
+    def test_band_improves_over_trim_only(self, field):
+        """Fig. 7 top: the band distribution reduces time-to-solution."""
+        t = AnalyticModel(SHAHEEN_II, 64, TRIM_ONLY).factorization_time(field)
+        b = AnalyticModel(SHAHEEN_II, 64, BAND_ONLY).factorization_time(field)
+        assert b.makespan < t.makespan
+        speedup = t.makespan / b.makespan
+        assert 1.0 < speedup < 2.5  # paper: up to 1.60x
+
+    def test_diamond_improves_over_band_only(self, field):
+        """Fig. 7 bottom: diamond reduces the work imbalance."""
+        b = AnalyticModel(SHAHEEN_II, 64, BAND_ONLY).factorization_time(field)
+        d = AnalyticModel(SHAHEEN_II, 64, HICMA_PARSEC).factorization_time(field)
+        assert d.t_work <= b.t_work * 1.001
+        assert d.makespan <= b.makespan * 1.001
+
+    def test_hicma_beats_lorapo_multifold(self, field):
+        """Figs. 8-10: HiCMA-PaRSEC wins in all scenarios."""
+        for mach, lo, hi in ((SHAHEEN_II, 2.0, 12.0), (FUGAKU, 3.0, 20.0)):
+            l = AnalyticModel(mach, 128, LORAPO).factorization_time(field)
+            h = AnalyticModel(mach, 128, HICMA_PARSEC).factorization_time(field)
+            speedup = l.makespan / h.makespan
+            assert lo < speedup < hi, (mach.name, speedup)
+
+    def test_cp_efficiency_over_70_percent(self, field):
+        """Sec. VIII-G: >70% of the optimistic critical-path bound."""
+        r = AnalyticModel(SHAHEEN_II, 512, HICMA_PARSEC).factorization_time(field)
+        assert r.cp_efficiency > 0.70
+
+    def test_compression_dominates_after_optimization(self, field):
+        """Fig. 11: once the factorization is optimized, compressing
+        the dense operator becomes the most expensive phase."""
+        m = AnalyticModel(SHAHEEN_II, 512, HICMA_PARSEC)
+        fact = m.factorization_time(field).makespan
+        comp = m.compression_time(field)
+        assert comp > 0.3 * fact  # same order, typically larger
+
+    def test_trimming_analysis_overhead_negligible(self, field):
+        """Fig. 6 right: Algorithm 1 costs a negligible fraction."""
+        m = AnalyticModel(SHAHEEN_II, 64, HICMA_PARSEC)
+        fact = m.factorization_time(field).makespan
+        ana = m.trimming_analysis_time(field)
+        assert ana < 0.05 * fact
+
+    def test_strong_scaling(self, field):
+        """More nodes -> not slower (Figs. 9/14)."""
+        t = [
+            AnalyticModel(SHAHEEN_II, n, HICMA_PARSEC)
+            .factorization_time(field)
+            .makespan
+            for n in (16, 64, 256)
+        ]
+        assert t[0] >= t[1] >= t[2] * 0.95
+
+
+class TestValidation:
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            AnalyticModel(SHAHEEN_II, 0, HICMA_PARSEC)

@@ -1,0 +1,74 @@
+"""Tests for analytic-model configuration knobs."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicma_parsec import HICMA_PARSEC
+from repro.core.lorapo import FrameworkConfig, LORAPO
+from repro.core.rank_model import SyntheticRankField
+from repro.distribution import BandDistribution, DiamondDistribution, TwoDBlockCyclic
+from repro.machine import SHAHEEN_II, AnalyticModel
+from repro.machine.analytic import _has_band
+
+
+@pytest.fixture(scope="module")
+def field():
+    return SyntheticRankField.from_parameters(500_000, 2500, 3.7e-4, 1e-4)
+
+
+class TestNullRankFloor:
+    def test_explicit_float_floor(self, field):
+        """Pinning the floor reproduces the mean-floor mechanism."""
+        base = FrameworkConfig(
+            "f0", False, LORAPO.data_distribution, None, null_rank_floor=None
+        )
+        heavy = FrameworkConfig(
+            "f8", False, LORAPO.data_distribution, None, null_rank_floor=8.0
+        )
+        r0 = AnalyticModel(SHAHEEN_II, 16, base).factorization_time(field)
+        r8 = AnalyticModel(SHAHEEN_II, 16, heavy).factorization_time(field)
+        # processing null tiles at rank 8 costs real kernel time
+        assert r8.t_work > r0.t_work
+        assert r8.makespan > r0.makespan
+        # same task space either way (no trimming)
+        assert r8.n_tasks == r0.n_tasks
+
+    def test_mean_floor_positive(self, field):
+        r = AnalyticModel(SHAHEEN_II, 16, LORAPO).factorization_time(field)
+        assert r.n_null_tasks == 0  # every tile is processed for real
+
+    def test_pair_budget_controls_sampling_not_result_sign(self, field):
+        coarse = AnalyticModel(
+            SHAHEEN_II, 16, HICMA_PARSEC, pair_budget=50_000
+        ).factorization_time(field)
+        fine = AnalyticModel(
+            SHAHEEN_II, 16, HICMA_PARSEC, pair_budget=50_000_000
+        ).factorization_time(field)
+        # sampled estimate within 2x of the exact one
+        assert 0.5 < coarse.makespan / fine.makespan < 2.0
+
+    def test_bad_pair_budget(self):
+        with pytest.raises(ValueError):
+            AnalyticModel(SHAHEEN_II, 16, HICMA_PARSEC, pair_budget=0)
+
+
+class TestBandDetection:
+    def test_detects_band(self):
+        assert _has_band(BandDistribution(TwoDBlockCyclic(2, 3)))
+        assert _has_band(BandDistribution(DiamondDistribution(2, 3)))
+
+    def test_rejects_plain(self):
+        assert not _has_band(TwoDBlockCyclic(2, 3))
+        assert not _has_band(DiamondDistribution(2, 3))
+        # 1x1 grid is trivially banded (single owner)
+        assert _has_band(TwoDBlockCyclic(1, 1))
+
+
+class TestGenerationPhases:
+    def test_phase_times_positive_and_ordered(self, field):
+        m = AnalyticModel(SHAHEEN_II, 16, HICMA_PARSEC)
+        gen = m.generation_time(field)
+        comp = m.compression_time(field)
+        ana = m.trimming_analysis_time(field)
+        assert 0 < gen < comp
+        assert 0 < ana < comp

@@ -1,0 +1,59 @@
+"""Tests for model-driven tile-size auto-tuning."""
+
+import pytest
+
+from repro.core.hicma_parsec import HICMA_PARSEC
+from repro.machine import SHAHEEN_II
+from repro.machine.autotune import tune_tile_size
+
+
+class TestTuneTileSize:
+    def test_finds_interior_optimum(self):
+        """On Shaheen at 4.49M, the model's bell curve (Fig. 5a) has
+        an interior optimum — the tuner must find it."""
+        res = tune_tile_size(
+            SHAHEEN_II,
+            16,
+            HICMA_PARSEC,
+            n=1_000_000,
+            shape_parameter=3.7e-4,
+            accuracy=1e-4,
+            candidates=[512, 1024, 2048, 4096, 8192],
+            refine=False,
+        )
+        assert res.best_tile_size in (1024, 2048)
+        evals = dict(res.evaluations)
+        assert res.best_time == min(evals.values())
+        # worse at both sweep ends
+        assert evals[512] > res.best_time
+        assert evals[8192] > res.best_time
+
+    def test_refinement_adds_midpoints(self):
+        res = tune_tile_size(
+            SHAHEEN_II,
+            16,
+            HICMA_PARSEC,
+            n=500_000,
+            shape_parameter=3.7e-4,
+            accuracy=1e-4,
+            candidates=[1024, 2048, 4096],
+            refine=True,
+        )
+        assert len(res.evaluations) > 3
+        assert res.best_time <= min(t for _, t in res.evaluations)
+
+    def test_default_grid_anchored_at_sqrt_n(self):
+        res = tune_tile_size(
+            SHAHEEN_II,
+            16,
+            HICMA_PARSEC,
+            n=2_990_000,
+            shape_parameter=3.7e-4,
+            accuracy=1e-4,
+            refine=False,
+        )
+        sizes = [b for b, _ in res.evaluations]
+        assert any(b < 2440 < b2 for b, b2 in zip(sizes, sizes[1:])) or 2440 in [
+            round(s, -1) for s in sizes
+        ] or any(abs(s - 2440) < 200 for s in sizes)
+        assert res.best_tile_size in sizes

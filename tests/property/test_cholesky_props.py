@@ -1,0 +1,62 @@
+"""Property-based tests for the full TLR Cholesky pipeline on random
+SPD operators: factorization residual and solve accuracy must track
+the compression tolerance; trimming must be semantically invisible."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solver import solve_cholesky
+from repro.core.tlr_cholesky import tlr_cholesky
+from repro.linalg.tile_matrix import TLRMatrix
+
+
+@st.composite
+def spd_problems(draw):
+    n = draw(st.sampled_from([48, 64, 96]))
+    tile = draw(st.sampled_from([16, 24, 32]))
+    seed = draw(st.integers(0, 2**16))
+    cond = draw(st.floats(2.0, 100.0))
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eig = np.linspace(1.0, cond, n)
+    a = (q * eig) @ q.T
+    a = (a + a.T) / 2
+    return a, tile, seed
+
+
+class TestCholeskyProperties:
+    @given(problem=spd_problems(), acc=st.sampled_from([1e-6, 1e-9, 1e-12]))
+    @settings(max_examples=25, deadline=None)
+    def test_residual_tracks_accuracy(self, problem, acc):
+        a, tile, _ = problem
+        t = TLRMatrix.from_dense(a, tile, accuracy=acc)
+        res = tlr_cholesky(t)
+        nt = t.n_tiles
+        # truncation error accumulates over O(NT) updates per tile
+        budget = max(acc * nt * 50, 1e-13) / np.linalg.norm(a)
+        assert res.residual(a) < max(budget, acc)
+
+    @given(problem=spd_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_trim_invariance(self, problem):
+        a, tile, _ = problem
+        acc = 1e-10
+        t1 = tlr_cholesky(TLRMatrix.from_dense(a, tile, accuracy=acc), trim=True)
+        t2 = tlr_cholesky(TLRMatrix.from_dense(a, tile, accuracy=acc), trim=False)
+        assert np.allclose(
+            t1.factor.to_dense(symmetrize=False),
+            t2.factor.to_dense(symmetrize=False),
+            atol=1e-9,
+        )
+
+    @given(problem=spd_problems())
+    @settings(max_examples=20, deadline=None)
+    def test_solve_recovers_solution(self, problem):
+        a, tile, seed = problem
+        t = TLRMatrix.from_dense(a, tile, accuracy=1e-12)
+        res = tlr_cholesky(t)
+        rng = np.random.default_rng(seed + 1)
+        x_true = rng.standard_normal(a.shape[0])
+        x = solve_cholesky(res.factor, a @ x_true)
+        assert np.allclose(x, x_true, atol=1e-6)

@@ -1,0 +1,78 @@
+"""Property-based tests for distribution invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    BandDistribution,
+    DiamondDistribution,
+    HybridDistribution,
+    OneDBlockCyclic,
+    TwoDBlockCyclic,
+    square_grid,
+)
+
+GRIDS = st.tuples(st.integers(1, 5), st.integers(1, 5))
+NTS = st.integers(2, 30)
+
+
+def _dists(p, q):
+    return [
+        TwoDBlockCyclic(p, q),
+        OneDBlockCyclic(p * q),
+        HybridDistribution(p, q),
+        BandDistribution.over_2d(p, q),
+        DiamondDistribution(p, q),
+        BandDistribution(DiamondDistribution(p, q)),
+    ]
+
+
+class TestDistributionProperties:
+    @given(grid=GRIDS, nt=NTS)
+    @settings(max_examples=50, deadline=None)
+    def test_owner_total_and_in_range(self, grid, nt):
+        p, q = grid
+        for d in _dists(p, q):
+            for k in range(nt):
+                for m in range(k, nt):
+                    o = d.owner(m, k)
+                    assert 0 <= o < d.nproc
+
+    @given(grid=GRIDS, nt=NTS)
+    @settings(max_examples=30, deadline=None)
+    def test_vectorized_consistency(self, grid, nt):
+        p, q = grid
+        ms, ks = np.tril_indices(nt)
+        for d in _dists(p, q):
+            vec = np.asarray(d.owner_vec(ms, ks))
+            ref = np.array([d.owner(int(m), int(k)) for m, k in zip(ms, ks)])
+            assert np.array_equal(vec, ref)
+
+    @given(grid=GRIDS, nt=NTS)
+    @settings(max_examples=30, deadline=None)
+    def test_band_property(self, grid, nt):
+        p, q = grid
+        for off in (TwoDBlockCyclic(p, q), DiamondDistribution(p, q)):
+            d = BandDistribution(off)
+            for k in range(nt - 1):
+                assert d.owner(k + 1, k) == d.owner(k, k)
+
+    @given(grid=GRIDS, nt=NTS)
+    @settings(max_examples=30, deadline=None)
+    def test_diamond_column_group_at_most_p(self, grid, nt):
+        p, q = grid
+        d = DiamondDistribution(p, q)
+        for k in range(min(nt, 6)):
+            assert len(d.column_group(k, nt)) <= p
+
+    @given(n=st.integers(1, 4096))
+    @settings(max_examples=100, deadline=None)
+    def test_square_grid_invariants(self, n):
+        p, q = square_grid(n)
+        assert p * q == n
+        assert p <= q
+        # as square as possible: no better factorization exists
+        for p2 in range(p + 1, int(np.sqrt(n)) + 1):
+            if n % p2 == 0:
+                assert False, f"square_grid({n}) missed {p2}x{n//p2}"

@@ -1,0 +1,79 @@
+"""Property-based tests for low-rank compression invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.lowrank import LowRankFactor, recompress, truncated_svd
+
+SIZES = st.integers(min_value=2, max_value=24)
+
+
+@st.composite
+def blocks(draw, max_dim=24):
+    m = draw(st.integers(2, max_dim))
+    n = draw(st.integers(2, max_dim))
+    data = draw(
+        arrays(
+            np.float64,
+            (m, n),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        )
+    )
+    return data
+
+
+class TestTruncatedSVDProperties:
+    @given(block=blocks(), tol=st.floats(1e-8, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_and_rank_minimal(self, block, tol):
+        f = truncated_svd(block, tol)
+        if f is None:
+            # whole block below threshold in spectral norm
+            assert np.linalg.norm(block, ord=2) <= tol + 1e-12
+        else:
+            err = np.linalg.norm(block - f.to_dense(), ord=2)
+            assert err <= tol + 1e-9
+            assert 1 <= f.rank <= min(block.shape)
+            # dropping the last kept direction would violate tol: the
+            # k-th singular value is above the threshold
+            s = np.linalg.svd(block, compute_uv=False)
+            assert s[f.rank - 1] > tol - 1e-12
+
+    @given(block=blocks())
+    @settings(max_examples=40, deadline=None)
+    def test_tighter_tolerance_keeps_more(self, block):
+        loose = truncated_svd(block, 1e-1)
+        tight = truncated_svd(block, 1e-8)
+        loose_rank = 0 if loose is None else loose.rank
+        tight_rank = 0 if tight is None else tight.rank
+        assert tight_rank >= loose_rank
+
+
+class TestRecompressProperties:
+    @given(
+        m=SIZES,
+        k1=st.integers(1, 4),
+        k2=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+        tol=st.floats(1e-9, 1e-3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recompress_preserves_sum(self, m, k1, k2, seed, tol):
+        """Rounding the stacked factors must represent the exact sum
+        within tol (spectral norm)."""
+        rng = np.random.default_rng(seed)
+        u = np.hstack(
+            [rng.standard_normal((m, k1)), rng.standard_normal((m, k2))]
+        )
+        v = np.hstack(
+            [rng.standard_normal((m, k1)), rng.standard_normal((m, k2))]
+        )
+        stacked = LowRankFactor(u, v)
+        exact = stacked.to_dense()
+        rounded = recompress(stacked, tol)
+        approx = 0.0 if rounded is None else rounded.to_dense()
+        assert np.linalg.norm(exact - approx, ord=2) <= tol + 1e-8
+        if rounded is not None:
+            assert rounded.rank <= k1 + k2

@@ -1,0 +1,63 @@
+"""Property-based tests for the LU symbolic analysis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tlr_lu import analyze_ranks_lu
+
+
+@st.composite
+def patterns(draw):
+    nt = draw(st.integers(2, 12))
+    density = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    r = (rng.random((nt, nt)) < density).astype(np.int64)
+    np.fill_diagonal(r, 1)
+    return nt, r
+
+
+class TestLUAnalysisProperties:
+    @given(pattern=patterns())
+    @settings(max_examples=80, deadline=None)
+    def test_fill_monotone(self, pattern):
+        nt, r = pattern
+        ana = analyze_ranks_lu(r, nt)
+        assert np.all(ana.final_nonzero | ~ana.initial_nonzero)
+
+    @given(pattern=patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_closure(self, pattern):
+        nt, r = pattern
+        ana = analyze_ranks_lu(r, nt)
+        again = analyze_ranks_lu(ana.final_nonzero.astype(np.int64), nt)
+        assert np.array_equal(again.final_nonzero, ana.final_nonzero)
+
+    @given(pattern=patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_pattern_matches_cholesky_analysis(self, pattern):
+        """For a symmetric pattern, the LU fill on the lower triangle
+        equals the Cholesky (Algorithm 1) fill."""
+        from repro.core.analysis import analyze_ranks
+
+        nt, r = pattern
+        sym = ((r + r.T) > 0).astype(np.int64)
+        np.fill_diagonal(sym, 1)
+        lu = analyze_ranks_lu(sym, nt)
+        chol = analyze_ranks(np.tril(sym), nt)
+        lower_lu = np.tril(lu.final_nonzero)
+        assert np.array_equal(lower_lu, chol.final_nonzero)
+
+    @given(pattern=patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_task_counts_consistent_with_lists(self, pattern):
+        nt, r = pattern
+        ana = analyze_ranks_lu(r, nt)
+        counts = ana.task_counts()
+        assert counts["GETRF"] == nt
+        assert counts["TRSM_L"] == sum(len(v) for v in ana.left)
+        assert counts["TRSM_U"] == sum(len(v) for v in ana.top)
+        assert counts["GEMM"] == sum(
+            len(ana.left[k]) * len(ana.top[k]) for k in range(nt)
+        )

@@ -1,0 +1,107 @@
+"""Tests for tasks and DAG construction from data accesses."""
+
+import pytest
+
+from repro.runtime.dag import build_graph
+from repro.runtime.task import AccessMode, Task, make_task
+
+
+class TestTask:
+    def test_reads_writes(self):
+        t = make_task("GEMM", (2, 1, 0), reads=[(2, 0), (1, 0)], rw=[(2, 1)])
+        assert set(t.reads) == {(2, 0), (1, 0), (2, 1)}
+        assert t.writes == ((2, 1),)
+        assert t.uid == ("GEMM", (2, 1, 0))
+        assert str(t) == "GEMM(2, 1, 0)"
+
+    def test_access_modes(self):
+        assert AccessMode.READ.reads and not AccessMode.READ.writes
+        assert AccessMode.WRITE.writes and not AccessMode.WRITE.reads
+        assert AccessMode.RW.reads and AccessMode.RW.writes
+
+
+class TestBuildGraph:
+    def test_raw_chain(self):
+        """writer -> reader -> writer on one datum serializes."""
+        tasks = [
+            make_task("A", (0,), rw=[(0, 0)]),
+            make_task("B", (0,), reads=[(0, 0)], rw=[(1, 0)]),
+            make_task("C", (0,), rw=[(0, 0)]),
+        ]
+        g = build_graph(tasks)
+        assert g.successors.get(0) == (1, 2) or set(g.successors.get(0, ())) >= {1}
+        # C writes (0,0) after B read it: write-after-read edge B -> C
+        assert 2 in g.successors.get(1, ())
+
+    def test_independent_tasks_have_no_edges(self):
+        tasks = [
+            make_task("A", (0,), rw=[(0, 0)]),
+            make_task("A", (1,), rw=[(1, 1)]),
+        ]
+        g = build_graph(tasks)
+        assert g.n_edges() == 0
+        assert g.in_degree(0) == g.in_degree(1) == 0
+
+    def test_duplicate_uid_rejected(self):
+        tasks = [make_task("A", (0,)), make_task("A", (0,))]
+        with pytest.raises(ValueError):
+            build_graph(tasks)
+
+    def test_topological_order_valid(self, sparse_tlr):
+        from repro.core import analyze_ranks, cholesky_tasks
+
+        ana = analyze_ranks(sparse_tlr.rank_array(), sparse_tlr.n_tiles)
+        g = build_graph(cholesky_tasks(sparse_tlr.n_tiles, ana))
+        order = g.topological_order()
+        pos = {i: p for p, i in enumerate(order)}
+        for i, succs in g.successors.items():
+            for j in succs:
+                assert pos[i] < pos[j]
+
+    def test_find(self):
+        g = build_graph([make_task("POTRF", (0,), rw=[(0, 0)])])
+        assert g.find("POTRF", (0,)) is not None
+        assert g.find("POTRF", (1,)) is None
+
+    def test_task_counts(self):
+        tasks = [
+            make_task("A", (0,), rw=[(0, 0)]),
+            make_task("A", (1,), rw=[(1, 1)]),
+            make_task("B", (0,), reads=[(0, 0)], rw=[(2, 2)]),
+        ]
+        assert build_graph(tasks).task_counts() == {"A": 2, "B": 1}
+
+    def test_critical_path_weighted(self):
+        tasks = [
+            Task("A", (0,), make_task("A", (0,), rw=[(0, 0)]).accesses, flops=5.0),
+            Task("B", (0,), make_task("B", (0,), reads=[(0, 0)], rw=[(1, 1)]).accesses, flops=7.0),
+            Task("C", (0,), make_task("C", (0,), rw=[(2, 2)]).accesses, flops=3.0),
+        ]
+        g = build_graph(tasks)
+        length, path = g.critical_path()
+        assert length == 12.0
+        assert [g.tasks[i].klass for i in path] == ["A", "B"]
+
+    def test_networkx_export(self):
+        tasks = [
+            make_task("A", (0,), rw=[(0, 0)]),
+            make_task("B", (0,), reads=[(0, 0)], rw=[(1, 1)]),
+        ]
+        nxg = build_graph(tasks).to_networkx()
+        assert nxg.number_of_nodes() == 2
+        assert nxg.number_of_edges() == 1
+
+    def test_cholesky_dependency_pattern(self):
+        """Spot-check canonical tile-Cholesky dependencies on 3x3."""
+        from repro.core import cholesky_tasks
+
+        g = build_graph(cholesky_tasks(3))
+        potrf0 = g.index_of(g.find("POTRF", (0,)))
+        trsm10 = g.index_of(g.find("TRSM", (1, 0)))
+        syrk10 = g.index_of(g.find("SYRK", (1, 0)))
+        potrf1 = g.index_of(g.find("POTRF", (1,)))
+        gemm210 = g.index_of(g.find("GEMM", (2, 1, 0)))
+        assert trsm10 in g.successors[potrf0]
+        assert syrk10 in g.successors[trsm10]
+        assert potrf1 in g.successors[syrk10]
+        assert gemm210 in g.successors[trsm10]

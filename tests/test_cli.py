@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.machine == "shaheen"
+        assert args.nodes == 512
+        assert args.config == "hicma"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Shaheen II" in out and "Fugaku" in out
+
+    def test_factorize_small(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        rc = main(
+            [
+                "factorize",
+                "--viruses", "2",
+                "--points-per-virus", "200",
+                "--tile-size", "100",
+                "--trace", str(trace),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "residual" in out
+        # valid Chrome trace JSON
+        data = json.loads(trace.read_text())
+        assert data["traceEvents"]
+        assert {"name", "ph", "ts", "dur"} <= set(data["traceEvents"][0])
+
+    def test_factorize_no_trim(self, capsys):
+        rc = main(
+            ["factorize", "--viruses", "2", "--points-per-virus", "150",
+             "--tile-size", "100", "--no-trim"]
+        )
+        assert rc == 0
+        assert "full DAG" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        rc = main(
+            ["simulate", "--matrix-size", "1.49e6", "--nodes", "64",
+             "--machine", "fugaku", "--config", "lorapo"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Lorapo" in out and "Fugaku" in out
+        assert "cp efficiency" in out
+
+    def test_deform(self, capsys):
+        rc = main(["deform", "--points", "300"])
+        assert rc == 0
+        assert "boundary error" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        rc = main(
+            ["tune", "--matrix-size", "5e5", "--nodes", "16"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "<-- best" in out

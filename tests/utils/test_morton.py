@@ -1,0 +1,46 @@
+"""Tests for the Morton (Z-order) curve ordering."""
+
+import numpy as np
+import pytest
+
+from repro.utils.morton import morton_index_3d, morton_order
+
+
+class TestMortonIndex:
+    def test_bijective_on_small_grid(self):
+        bits = 3
+        side = 1 << bits
+        coords = np.array(
+            [(x, y, z) for x in range(side) for y in range(side) for z in range(side)]
+        )
+        keys = morton_index_3d(coords, bits=bits)
+        assert len(np.unique(keys)) == side**3
+
+    def test_known_values(self):
+        # Morton interleave: x bit 0 -> key bit 0, y -> bit 1, z -> bit 2.
+        coords = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1]])
+        keys = morton_index_3d(coords, bits=2)
+        assert list(keys) == [1, 2, 4, 7]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            morton_index_3d(np.array([[4, 0, 0]]), bits=2)
+
+    def test_large_bits(self):
+        coords = np.array([[2**20, 2**20, 2**20]])
+        keys = morton_index_3d(coords, bits=21)
+        assert keys[0] > 0
+
+
+class TestMortonOrder:
+    def test_returns_permutation(self, rng):
+        pts = rng.random((128, 3))
+        perm = morton_order(pts)
+        assert sorted(perm) == list(range(128))
+
+    def test_locality(self, rng):
+        pts = rng.random((2000, 3))
+        ordered = pts[morton_order(pts)]
+        d_ordered = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        d_random = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert d_ordered < 0.5 * d_random
