@@ -1,0 +1,84 @@
+"""Serving-path throughput: batched vs unbatched, cold vs warm.
+
+The service subsystem (``repro.service``) exists to amortize the
+Fig. 11 dominant cost (generation + compression + factorization) over
+many requests and to coalesce concurrent single-RHS solves into
+blocked multi-RHS solves.  This benchmark measures both effects on the
+suite's standard sparse-regime workload and persists the result as
+``BENCH_service.json`` in the repo root so later PRs have a perf
+trajectory for the serving path.
+
+Claims checked:
+- batched throughput >= 3x the one-at-a-time baseline at 32 concurrent
+  single-RHS requests (the batcher demonstrably coalesces);
+- a warm (cache-hit) request is at least an order of magnitude cheaper
+  than the cold request that pays the build;
+- exactly one build happens across the whole run (every later request
+  is served from cache);
+- the served solution actually solves the system.
+"""
+
+import json
+from pathlib import Path
+
+from repro.service.bench import default_benchmark_spec, run_throughput_benchmark
+
+from figutils import write_table
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+REQUESTS = 32
+
+
+def run():
+    spec = default_benchmark_spec()
+    return run_throughput_benchmark(spec=spec, requests=REQUESTS, repeats=3)
+
+
+def test_service_throughput(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    BENCH_JSON.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    write_table(
+        "service_throughput",
+        f"Serving path: {REQUESTS} single-RHS requests, warm cache "
+        f"(N={result['workload']['n']}, b={result['workload']['tile_size']})",
+        ["mode", "elapsed [s]", "req/s", "speedup"],
+        [
+            [
+                "sequential",
+                round(result["sequential"]["elapsed_seconds"], 4),
+                round(result["sequential"]["throughput_rps"], 1),
+                1.0,
+            ],
+            [
+                "batched",
+                round(result["batched"]["elapsed_seconds"], 4),
+                round(result["batched"]["throughput_rps"], 1),
+                round(result["batched_speedup"], 2),
+            ],
+            [
+                "cold request [s]",
+                round(result["cold_latency_seconds"], 4),
+                "",
+                "",
+            ],
+            [
+                "warm request [s]",
+                round(result["warm_latency_seconds"], 4),
+                "",
+                round(result["cold_over_warm"], 1),
+            ],
+        ],
+    )
+
+    # the batcher demonstrably coalesces: >= 3x one-at-a-time
+    assert result["batched_speedup"] >= 3.0, result
+    assert result["batched"]["realized_max_batch"] > 1
+    # warm requests skip the build entirely
+    assert result["cache"]["builds"] == 1
+    assert result["warm_latency_seconds"] < result["cold_latency_seconds"] / 10
+    # and the answers are still right (direct solve: the factor carries
+    # the compression error amplified by the operator's conditioning,
+    # so the guard is a sanity bound, not the refined-solve accuracy)
+    assert result["solve_residual"] < 1e-2

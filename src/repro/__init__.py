@@ -78,6 +78,7 @@ from repro.machine import (
     MachineModel,
 )
 from repro.apps import RBFMeshDeformation
+from repro.service import OperatorCache, OperatorSpec, ServiceMetrics, SolveService
 
 __version__ = "1.0.0"
 
@@ -133,4 +134,8 @@ __all__ = [
     "DistributedSimulator",
     "AnalyticModel",
     "RBFMeshDeformation",
+    "OperatorSpec",
+    "OperatorCache",
+    "SolveService",
+    "ServiceMetrics",
 ]

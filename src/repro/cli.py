@@ -13,6 +13,12 @@ Commands
     machine, node count and framework configuration.
 ``deform``
     End-to-end RBF mesh deformation demo.
+``serve``
+    In-process demo of the batched, cached solve-serving subsystem
+    (:mod:`repro.service`); prints cache/batch/latency metrics.
+``bench-serve``
+    Serving-path throughput benchmark: batched vs one-at-a-time
+    request handling, cold vs warm cache latency.
 """
 
 from __future__ import annotations
@@ -72,6 +78,42 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--matrix-size", type=float, default=2.99e6)
     t.add_argument("--shape", type=float, default=3.7e-4)
     t.add_argument("--accuracy", type=float, default=1e-4)
+
+    sv = sub.add_parser(
+        "serve", help="in-process solve-serving demo (repro.service)"
+    )
+    sv.add_argument("--viruses", type=int, default=2)
+    sv.add_argument("--points-per-virus", type=int, default=200)
+    sv.add_argument("--tile-size", type=int, default=100)
+    sv.add_argument("--accuracy", type=float, default=1e-6)
+    sv.add_argument("--operators", type=int, default=2,
+                    help="number of distinct cached operators to serve")
+    sv.add_argument("--requests", type=int, default=48,
+                    help="total solve/logdet requests to fire")
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--backlog", type=int, default=256)
+    sv.add_argument("--max-batch", type=int, default=16)
+    sv.add_argument("--max-wait", type=float, default=0.005,
+                    help="batching window in seconds")
+    sv.add_argument("--cache-budget-mb", type=float, default=None,
+                    help="resident-bytes LRU budget (default: unbounded)")
+    sv.add_argument("--cache-dir", type=str, default=None,
+                    help="disk persistence directory for built factors")
+    sv.add_argument("--trace", type=str, default=None,
+                    help="write a Chrome trace JSON of the serving run")
+    sv.add_argument("--seed", type=int, default=0)
+
+    bs = sub.add_parser(
+        "bench-serve", help="serving-path throughput benchmark"
+    )
+    bs.add_argument("--requests", type=int, default=32)
+    bs.add_argument("--repeats", type=int, default=3)
+    bs.add_argument("--viruses", type=int, default=4)
+    bs.add_argument("--points-per-virus", type=int, default=400)
+    bs.add_argument("--tile-size", type=int, default=200)
+    bs.add_argument("--accuracy", type=float, default=1e-6)
+    bs.add_argument("--json", type=str, default=None,
+                    help="also write the result dict to this JSON file")
     return p
 
 
@@ -192,6 +234,114 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.geometry import min_spacing, virus_population
+    from repro.service import OperatorCache, OperatorSpec, SolveService
+
+    budget = (
+        int(args.cache_budget_mb * 1e6) if args.cache_budget_mb else None
+    )
+    cache = OperatorCache(byte_budget=budget, directory=args.cache_dir)
+    specs = []
+    for i in range(args.operators):
+        pts = virus_population(
+            args.viruses,
+            points_per_virus=args.points_per_virus,
+            cube_edge=1.7,
+            seed=args.seed + i,
+        )
+        specs.append(
+            OperatorSpec(
+                points=pts,
+                shape_parameter=0.5 * min_spacing(pts) * 40,
+                tile_size=args.tile_size,
+                accuracy=args.accuracy,
+                nugget=1e-4,
+                label=f"op-{i}",
+            )
+        )
+    rng = np.random.default_rng(args.seed)
+    with SolveService(
+        cache=cache,
+        workers=args.workers,
+        backlog=args.backlog,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+    ) as svc:
+        handles = []
+        for i in range(args.requests):
+            spec = specs[i % len(specs)]
+            if i % 8 == 7:
+                handles.append(svc.submit_logdet(spec))
+            else:
+                handles.append(
+                    svc.submit_solve(spec, rng.standard_normal(spec.n))
+                )
+        for h in handles:
+            h.result()
+        snapshot = svc.metrics.to_dict()
+        if args.trace:
+            names = {0: "dispatcher"}
+            names.update(
+                {1 + w: f"solve-worker-{w}" for w in range(args.workers)}
+            )
+            svc.metrics.save_chrome_trace(
+                args.trace, process_name="repro.service", thread_names=names
+            )
+    print(f"served {args.requests} requests over {args.operators} operator(s), "
+          f"{args.workers} worker(s)")
+    c = snapshot["counters"]
+    print(f"completed={c.get('completed', 0)} "
+          f"builds={c.get('cache_builds', 0)} "
+          f"hit-rate={snapshot['cache_hit_rate']:.2%} "
+          f"resident={snapshot['bytes_resident']/1e6:.1f} MB")
+    b = snapshot["batch"]
+    print(f"batches: {b['count']} (mean size {b['mean']:.1f}, max {b['max']})")
+    for kind, lat in sorted(snapshot["latency_seconds"].items()):
+        print(f"latency[{kind}]: p50 {lat['p50']*1e3:.1f} ms, "
+              f"p90 {lat['p90']*1e3:.1f} ms, p99 {lat['p99']*1e3:.1f} ms")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import json as _json
+
+    from repro.service.bench import default_benchmark_spec, run_throughput_benchmark
+
+    spec = default_benchmark_spec(
+        viruses=args.viruses,
+        points_per_virus=args.points_per_virus,
+        tile_size=args.tile_size,
+        accuracy=args.accuracy,
+    )
+    try:
+        result = run_throughput_benchmark(
+            spec=spec, requests=args.requests, repeats=args.repeats
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    w = result["workload"]
+    print(f"serving benchmark: N={w['n']}, tile {w['tile_size']}, "
+          f"{result['requests']} requests")
+    print(f"cold latency : {result['cold_latency_seconds']*1e3:10.1f} ms "
+          f"(build + solve)")
+    print(f"warm latency : {result['warm_latency_seconds']*1e3:10.1f} ms "
+          f"(cache hit, {result['cold_over_warm']:.0f}x faster)")
+    print(f"sequential   : {result['sequential']['throughput_rps']:10.1f} req/s")
+    print(f"batched      : {result['batched']['throughput_rps']:10.1f} req/s "
+          f"(max batch {result['batched']['realized_max_batch']})")
+    print(f"speedup      : {result['batched_speedup']:10.2f}x")
+    print(f"residual     : {result['solve_residual']:10.2e}")
+    if args.json:
+        with open(args.json, "w") as f:
+            _json.dump(result, f, indent=2, sort_keys=True)
+        print(f"result written to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -204,6 +354,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_deform(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

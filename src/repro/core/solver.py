@@ -4,6 +4,10 @@ Forward/backward substitution by tile rows, exploiting each tile's
 representation: a low-rank tile applies ``U (V^T x)`` (two skinny
 GEMVs) instead of a dense ``b x b`` product, and null tiles are
 skipped entirely — the solve inherits the operator's data sparsity.
+Null-tile skipping uses the factor's cached per-column structure
+(:meth:`TLRMatrix.lower_column_structure`), so repeated solves against
+one factor — the serving hot path — avoid re-scanning all NT² tile
+slots on every call.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ def solve_lower(l: TLRMatrix, b: np.ndarray) -> np.ndarray:
     if y.shape[0] != l.n:
         raise ValueError(f"rhs has {y.shape[0]} rows, matrix order is {l.n}")
     bs = l.tile_size
+    structure = l.lower_column_structure()
     for k in range(l.n_tiles):
         lo, hi = k * bs, min((k + 1) * bs, l.n)
         diag = l.tile(k, k)
@@ -54,10 +59,8 @@ def solve_lower(l: TLRMatrix, b: np.ndarray) -> np.ndarray:
         y[lo:hi] = sla.solve_triangular(
             diag.data, y[lo:hi], lower=True, check_finite=False
         )
-        for m in range(k + 1, l.n_tiles):
+        for m in structure[k]:
             tile = l.tile(m, k)
-            if tile.is_null:
-                continue
             mlo, mhi = m * bs, min((m + 1) * bs, l.n)
             y[mlo:mhi] -= _apply(tile, y[lo:hi])
     return y[:, 0] if squeeze else y
@@ -69,12 +72,11 @@ def solve_lower_transpose(l: TLRMatrix, b: np.ndarray) -> np.ndarray:
     if x.shape[0] != l.n:
         raise ValueError(f"rhs has {x.shape[0]} rows, matrix order is {l.n}")
     bs = l.tile_size
+    structure = l.lower_column_structure()
     for k in range(l.n_tiles - 1, -1, -1):
         lo, hi = k * bs, min((k + 1) * bs, l.n)
-        for m in range(k + 1, l.n_tiles):
+        for m in structure[k]:
             tile = l.tile(m, k)
-            if tile.is_null:
-                continue
             mlo, mhi = m * bs, min((m + 1) * bs, l.n)
             x[lo:hi] -= _apply(tile, x[mlo:mhi], transpose=True)
         diag = l.tile(k, k)

@@ -21,8 +21,14 @@ __all__ = ["save_tlr", "load_tlr"]
 _FORMAT_VERSION = 1
 
 
-def save_tlr(a: TLRMatrix, path) -> None:
-    """Write a TLR matrix to ``path`` (``.npz``, compressed)."""
+def save_tlr(a: TLRMatrix, path, compressed: bool = True) -> None:
+    """Write a TLR matrix to ``path`` (``.npz``).
+
+    ``compressed=False`` trades disk bytes for (de)serialization
+    speed — the right choice for warm-start caches (e.g. the serving
+    subsystem's disk tier) where reload latency is on the request
+    path; archival snapshots should keep the default zip compression.
+    """
     arrays: dict[str, np.ndarray] = {
         "header": np.array(
             [
@@ -48,7 +54,10 @@ def save_tlr(a: TLRMatrix, path) -> None:
             kinds.append((m, k, 2))
             arrays[f"d_{key}"] = tile.data
     arrays["kinds"] = np.array(kinds, dtype=np.int64)
-    np.savez_compressed(path, **arrays)
+    if compressed:
+        np.savez_compressed(path, **arrays)
+    else:
+        np.savez(path, **arrays)
 
 
 def load_tlr(path) -> TLRMatrix:

@@ -45,6 +45,7 @@ class TLRMatrix:
         self.accuracy = float(accuracy)
         self.max_rank = max_rank
         self._tiles = tiles
+        self._col_structure: list[list[int]] | None = None
         nt = self.n_tiles
         for (m, k) in tiles:
             if not (0 <= k <= m < nt):
@@ -139,6 +140,28 @@ class TLRMatrix:
                 f"tile ({m}, {k}) shape {tile.shape} != expected {expected}"
             )
         self._tiles[(m, k)] = tile
+        self._col_structure = None
+
+    def lower_column_structure(self) -> list[list[int]]:
+        """Per-column sorted lists of sub-diagonal non-null tile rows.
+
+        ``structure[k]`` holds every ``m > k`` with a non-null stored
+        tile ``(m, k)`` — the only tiles a triangular solve must touch
+        in column ``k``.  Computed once and cached; :meth:`set_tile`
+        invalidates the cache, so a factor that is solved against many
+        times (the serving hot path) pays the NT² structure scan once
+        instead of once per solve.
+        """
+        if self._col_structure is None:
+            nt = self.n_tiles
+            cols: list[list[int]] = [[] for _ in range(nt)]
+            for (m, k), tile in self._tiles.items():
+                if m != k and not tile.is_null:
+                    cols[k].append(m)
+            for col in cols:
+                col.sort()
+            self._col_structure = cols
+        return self._col_structure
 
     def __iter__(self):
         """Iterate ``((m, k), tile)`` over the stored lower triangle."""

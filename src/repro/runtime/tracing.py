@@ -70,13 +70,41 @@ class Trace:
     def busy_time(self) -> float:
         return sum(e.duration for e in self.events)
 
-    def to_chrome_trace(self) -> str:
+    def to_chrome_trace(
+        self,
+        process_name: str | None = None,
+        thread_names: dict[int, str] | None = None,
+    ) -> str:
         """Serialize as Chrome trace-event JSON (complete events).
 
         Workers map to thread ids; durations are microseconds, as the
-        format requires.
+        format requires.  ``process_name`` and ``thread_names`` (worker
+        id -> label) emit metadata events so consumers other than the
+        factorization engine — e.g. the serving subsystem's dispatcher
+        and solver workers — appear with readable lane names in
+        ``chrome://tracing`` / Perfetto.
         """
-        events = [
+        meta: list[dict] = []
+        if process_name is not None:
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "args": {"name": process_name},
+                }
+            )
+        for tid, label in (thread_names or {}).items():
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        events = meta + [
             {
                 "name": f"{e.klass}{e.params}",
                 "cat": e.klass,
@@ -91,7 +119,7 @@ class Trace:
         ]
         return json.dumps({"traceEvents": events}, indent=None)
 
-    def save_chrome_trace(self, path) -> None:
+    def save_chrome_trace(self, path, **kwargs) -> None:
         """Write :meth:`to_chrome_trace` output to ``path``."""
         with open(path, "w") as f:
-            f.write(self.to_chrome_trace())
+            f.write(self.to_chrome_trace(**kwargs))

@@ -1,0 +1,50 @@
+"""repro.service — batched, cached serving of TLR solve requests.
+
+The layer above :mod:`repro.core` that the ROADMAP's serving goal
+needs: a factored operator is an asset to amortize over many requests
+(H2OPUS-TLR's framing of TLR factorizations as reusable solvers), not
+a per-call expense.  The subsystem provides
+
+- :class:`OperatorSpec` — a full recipe for a servable operator with a
+  content :attr:`~OperatorSpec.fingerprint` as cache key;
+- :class:`OperatorCache` — byte-budgeted LRU residency of factored
+  operators with write-through disk persistence;
+- :class:`RequestBatcher` — dynamic coalescing of concurrent
+  single-RHS solves into blocked multi-RHS solves;
+- :class:`SolveService` — bounded-backlog queue + dispatcher + worker
+  pool with per-request deadlines and typed overload rejection;
+- :class:`ServiceMetrics` — latency percentiles, hit rates, batch
+  shapes, Chrome-trace export via :mod:`repro.runtime.tracing`.
+"""
+
+from repro.service.batching import RequestBatcher
+from repro.service.cache import CacheEntry, OperatorCache
+from repro.service.errors import (
+    BacklogFullError,
+    DeadlineExpiredError,
+    RequestFailedError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.server import Request, RequestHandle, SolveService
+from repro.service.spec import KERNELS, BuiltOperator, OperatorSpec
+
+__all__ = [
+    "OperatorSpec",
+    "BuiltOperator",
+    "KERNELS",
+    "OperatorCache",
+    "CacheEntry",
+    "RequestBatcher",
+    "SolveService",
+    "Request",
+    "RequestHandle",
+    "ServiceMetrics",
+    "percentile",
+    "ServiceError",
+    "BacklogFullError",
+    "DeadlineExpiredError",
+    "ServiceClosedError",
+    "RequestFailedError",
+]

@@ -1,0 +1,87 @@
+"""Dynamic request batching (inference-server-style coalescing).
+
+Single-RHS solve requests against the same cached factor are far
+cheaper executed as one blocked multi-RHS triangular solve: the
+Python tile loop and the per-tile skinny GEMMs are paid once per
+*batch* instead of once per *request*.  The batcher groups pending
+requests by an opaque batch key (the server uses
+``(fingerprint, kind, ...)``) and releases a group when either
+
+- it reaches ``max_batch`` requests (size trigger), or
+- ``max_wait`` seconds have passed since the group's oldest request
+  arrived (latency trigger).
+
+The class is pure data-structure logic — no threads, injectable
+clock — so the coalescing policy is deterministic and unit-testable;
+the service's dispatcher thread supplies the timing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Hashable
+
+from repro.utils.validation import check_positive
+
+__all__ = ["RequestBatcher"]
+
+
+class RequestBatcher:
+    """Coalesce items into per-key batches under size/latency triggers."""
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        check_positive("max_batch", max_batch)
+        if max_wait < 0.0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._clock = clock
+        #: key -> (arrival time of the oldest pending item, items)
+        self._pending: dict[Hashable, tuple[float, list[Any]]] = {}
+
+    def add(self, key: Hashable, item: Any) -> list[Any] | None:
+        """Queue ``item`` under ``key``; return the batch if it filled.
+
+        A ``max_batch`` of 1 degenerates to unbatched operation: every
+        add returns immediately as its own batch.
+        """
+        first, items = self._pending.pop(key, (self._clock(), []))
+        items.append(item)
+        if len(items) >= self.max_batch:
+            return items
+        self._pending[key] = (first, items)
+        return None
+
+    def due(self) -> list[list[Any]]:
+        """Pop every group whose latency window has expired."""
+        now = self._clock()
+        ready = [
+            key
+            for key, (first, _) in self._pending.items()
+            if now - first >= self.max_wait
+        ]
+        return [self._pending.pop(key)[1] for key in ready]
+
+    def flush_all(self) -> list[list[Any]]:
+        """Pop every pending group regardless of its window (shutdown)."""
+        batches = [items for (_, items) in self._pending.values()]
+        self._pending.clear()
+        return batches
+
+    def next_deadline(self) -> float | None:
+        """Absolute clock time of the earliest pending flush, if any."""
+        if not self._pending:
+            return None
+        return min(first for (first, _) in self._pending.values()) + self.max_wait
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(items) for (_, items) in self._pending.values())
+
+    def __len__(self) -> int:
+        return len(self._pending)

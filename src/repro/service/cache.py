@@ -1,0 +1,271 @@
+"""Byte-budgeted LRU cache of factored TLR operators.
+
+The paper's Fig. 11 cost breakdown shows generation + compression +
+factorization dominating end-to-end time; a serving system must pay
+that once per operator, not once per request.  The cache keys entries
+by :attr:`OperatorSpec.fingerprint`, bounds resident payload bytes
+with LRU eviction, and (optionally) persists entries through
+:mod:`repro.linalg.serialization` so a restarted — or evicted — server
+reloads factors from disk instead of refactorizing.
+
+Lookup outcomes, from cheapest to most expensive:
+
+``hit``
+    Factor resident in RAM: zero numerical work.
+``disk hit``
+    Factor reloaded from the persistence directory: deserialization
+    only, still zero matgen/compression/factorization.
+``miss``
+    Full build via :meth:`OperatorSpec.build`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.linalg.serialization import load_tlr, save_tlr
+from repro.linalg.tile_matrix import TLRMatrix
+from repro.service.metrics import ServiceMetrics
+from repro.service.spec import OperatorSpec
+
+__all__ = ["CacheEntry", "OperatorCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One resident factored operator."""
+
+    fingerprint: str
+    #: compressed, unfactorized operator (residuals / iterative refinement)
+    operator: TLRMatrix
+    #: TLR Cholesky factor
+    factor: TLRMatrix
+    #: seconds spent building (0.0 when reloaded from disk)
+    build_seconds: float = 0.0
+    _logdet: float | None = field(default=None, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident numerical payload (operator + factor)."""
+        return self.operator.memory_bytes() + self.factor.memory_bytes()
+
+    def logdet(self) -> float:
+        """Memoized ``log det`` of the operator (read off the factor)."""
+        from repro.core.solver import logdet
+
+        with self._lock:
+            if self._logdet is None:
+                self._logdet = logdet(self.factor)
+            return self._logdet
+
+
+class OperatorCache:
+    """LRU cache of :class:`CacheEntry` with a resident-bytes budget.
+
+    Parameters
+    ----------
+    byte_budget:
+        Maximum resident payload bytes.  ``None`` disables eviction.
+        The most recently used entry is never evicted, so a single
+        operator larger than the budget still serves (the budget bounds
+        *steady-state* residency, not a single working set).
+    directory:
+        Persistence root.  When set, every build is written through and
+        misses first try a disk reload.
+    metrics:
+        Optional :class:`ServiceMetrics` mirror for counters/gauges.
+    """
+
+    def __init__(
+        self,
+        byte_budget: int | None = None,
+        directory: str | os.PathLike | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError(f"byte_budget must be positive, got {byte_budget}")
+        self.byte_budget = byte_budget
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._build_locks: dict[str, threading.Lock] = {}
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def get_or_build(self, spec: OperatorSpec) -> CacheEntry:
+        """Return the entry for ``spec``, building it at most once."""
+        return self.acquire(spec)[0]
+
+    def acquire(self, spec: OperatorSpec) -> tuple[CacheEntry, str]:
+        """Like :meth:`get_or_build`, also reporting the lookup outcome
+        (``"hit"``, ``"disk"`` or ``"build"``).
+
+        Concurrent requests for the same fingerprint serialize on a
+        per-fingerprint build lock (single-flight), so a thundering
+        herd of cold requests pays one build, not one per request.
+        """
+        fp = spec.fingerprint
+        entry = self._lookup(fp)
+        if entry is not None:
+            return entry, "hit"
+        with self._build_lock(fp):
+            entry = self._lookup(fp)  # built while we waited?
+            if entry is not None:
+                return entry, "hit"
+            entry = self._load_from_disk(fp)
+            outcome = "disk"
+            if entry is None:
+                outcome = "build"
+                t0 = time.perf_counter()
+                built = spec.build()
+                entry = CacheEntry(
+                    fingerprint=fp,
+                    operator=built.operator,
+                    factor=built.factor,
+                    build_seconds=time.perf_counter() - t0,
+                )
+                self._count("builds")
+                self._count("misses")
+                self._persist(entry)
+            self._insert(entry)
+            return entry, outcome
+
+    def _lookup(self, fp: str) -> CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(fp)
+            if entry is not None:
+                self._entries.move_to_end(fp)
+        if entry is not None:
+            self._count("hits")
+        return entry
+
+    def _build_lock(self, fp: str) -> threading.Lock:
+        with self._lock:
+            return self._build_locks.setdefault(fp, threading.Lock())
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _paths(self, fp: str) -> tuple[Path, Path]:
+        assert self.directory is not None
+        return (
+            self.directory / f"{fp}.operator.npz",
+            self.directory / f"{fp}.factor.npz",
+        )
+
+    def _persist(self, entry: CacheEntry) -> None:
+        if self.directory is None:
+            return
+        op_path, f_path = self._paths(entry.fingerprint)
+        # uncompressed: warm reload speed matters more than disk bytes
+        save_tlr(entry.operator, op_path, compressed=False)
+        save_tlr(entry.factor, f_path, compressed=False)
+
+    def _load_from_disk(self, fp: str) -> CacheEntry | None:
+        if self.directory is None:
+            return None
+        op_path, f_path = self._paths(fp)
+        if not (op_path.exists() and f_path.exists()):
+            return None
+        entry = CacheEntry(
+            fingerprint=fp, operator=load_tlr(op_path), factor=load_tlr(f_path)
+        )
+        self._count("disk_hits")
+        return entry
+
+    # ------------------------------------------------------------------
+    # residency management
+    # ------------------------------------------------------------------
+
+    def _insert(self, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[entry.fingerprint] = entry
+            self._entries.move_to_end(entry.fingerprint)
+            evicted = 0
+            if self.byte_budget is not None:
+                while (
+                    len(self._entries) > 1
+                    and self._resident_bytes_locked() > self.byte_budget
+                ):
+                    self._entries.popitem(last=False)
+                    evicted += 1
+            resident = self._resident_bytes_locked()
+        if evicted:
+            self._count("evictions", evicted)
+        if self.metrics is not None:
+            self.metrics.set_bytes_resident(resident)
+
+    def _resident_bytes_locked(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident_bytes_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, spec_or_fp) -> bool:
+        fp = (
+            spec_or_fp.fingerprint
+            if isinstance(spec_or_fp, OperatorSpec)
+            else str(spec_or_fp)
+        )
+        with self._lock:
+            return fp in self._entries
+
+    def clear(self) -> None:
+        """Drop resident entries (disk persistence is left intact)."""
+        with self._lock:
+            self._entries.clear()
+        if self.metrics is not None:
+            self.metrics.set_bytes_resident(0)
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+
+    _METRIC_NAMES = {
+        "hits": "cache_hits",
+        "disk_hits": "cache_disk_hits",
+        "misses": "cache_misses",
+        "builds": "cache_builds",
+        "evictions": "cache_evictions",
+    }
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + delta)
+        if self.metrics is not None:
+            self.metrics.count(self._METRIC_NAMES[name], delta)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "resident_bytes": self._resident_bytes_locked(),
+            }

@@ -1,0 +1,45 @@
+"""Typed errors raised by the solve-serving subsystem.
+
+Every rejection path has its own exception class so clients (and
+tests) can react to overload, expiry, and shutdown deterministically
+instead of parsing message strings.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "BacklogFullError",
+    "DeadlineExpiredError",
+    "ServiceClosedError",
+    "RequestFailedError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for all service-level failures."""
+
+
+class BacklogFullError(ServiceError):
+    """The bounded request queue is full; the request was never enqueued.
+
+    Raised synchronously by ``submit`` — backpressure is immediate, the
+    caller can retry, shed load, or fail over.
+    """
+
+
+class DeadlineExpiredError(ServiceError):
+    """The request's deadline passed before execution started.
+
+    Expired requests are *never* executed: the dispatcher and the
+    worker both re-check the deadline and complete the handle with this
+    error instead of running the solve.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down (or shutting down) and takes no work."""
+
+
+class RequestFailedError(ServiceError):
+    """The request itself was malformed (bad shape, unknown kind...)."""

@@ -1,0 +1,460 @@
+"""The solve-serving front end: bounded queue, dispatcher, worker pool.
+
+Request lifecycle::
+
+    submit_*()  --put-->  bounded queue  --dispatcher-->  RequestBatcher
+                               |                               |
+                     BacklogFullError               coalesced batches
+                     (queue full)                              |
+                                                        worker pool
+                                                 (cache acquire + blocked
+                                                  solve / logdet, deadline
+                                                  re-check, handle completion)
+
+The dispatcher decouples request arrival from execution (the fan-both
+asynchronous-factorization lesson applied to serving): clients never
+block on BLAS, and concurrent single-RHS requests against one factor
+coalesce into a single blocked multi-RHS triangular solve.  Overload
+is handled at the edge — a full backlog rejects *synchronously* with
+:class:`BacklogFullError` — and expired deadlines are re-checked both
+at dispatch and at execution start so a stale request never reaches
+the numerics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DTYPE
+from repro.service.batching import RequestBatcher
+from repro.service.cache import CacheEntry, OperatorCache
+from repro.service.errors import (
+    BacklogFullError,
+    DeadlineExpiredError,
+    RequestFailedError,
+    ServiceClosedError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.spec import OperatorSpec
+
+__all__ = ["Request", "RequestHandle", "SolveService"]
+
+_SENTINEL = object()
+_request_ids = itertools.count(1)
+
+
+class RequestHandle:
+    """Client-side handle for one submitted request.
+
+    ``result()`` blocks until the service completes the request and
+    either returns the payload (solution array, logdet float) or
+    raises the typed service error recorded for it.
+    """
+
+    def __init__(self, request_id: int, kind: str) -> None:
+        self.request_id = request_id
+        self.kind = kind
+        self._done = threading.Event()
+        self._result = None
+        self._exception: BaseException | None = None
+
+    def set_result(self, value) -> None:
+        self._result = value
+        self._done.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request {self.request_id} still pending")
+        return self._exception
+
+    def result(self, timeout: float | None = None):
+        exc = self.exception(timeout)
+        if exc is not None:
+            raise exc
+        return self._result
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"RequestHandle(#{self.request_id}, {self.kind}, {state})"
+
+
+@dataclass
+class Request:
+    """One unit of queued work (internal to the service)."""
+
+    kind: str  # "solve" | "logdet"
+    spec: OperatorSpec
+    handle: RequestHandle
+    rhs: np.ndarray | None = None
+    refine: bool = False
+    #: monotonic-clock absolute deadline (None = no deadline)
+    deadline: float | None = None
+    submitted_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def batchable(self) -> bool:
+        """Only single-column solves coalesce; everything else runs as
+        its own (possibly already blocked) execution."""
+        return self.kind == "solve" and self.rhs is not None and self.rhs.ndim == 1
+
+    @property
+    def batch_key(self) -> tuple:
+        return (self.spec.fingerprint, self.kind, self.refine)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+
+class SolveService:
+    """Batched, cached serving of solve/logdet requests on TLR factors.
+
+    Parameters
+    ----------
+    cache:
+        Operator cache (default: unbounded in-memory cache).  Its
+        metrics mirror is re-pointed at this service's metrics.
+    workers:
+        Worker threads executing batches.  BLAS releases the GIL, so
+        distinct operators genuinely overlap.
+    backlog:
+        Bound on queued-but-undispatched requests; submissions beyond
+        it raise :class:`BacklogFullError` synchronously.
+    max_batch / max_wait:
+        Coalescing knobs (see :class:`RequestBatcher`).
+    start:
+        Start the dispatcher immediately.  Tests pass ``False`` to
+        stage requests deterministically, then call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        cache: OperatorCache | None = None,
+        workers: int = 2,
+        backlog: int = 128,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        metrics: ServiceMetrics | None = None,
+        start: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backlog < 1:
+            raise ValueError(f"backlog must be >= 1, got {backlog}")
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache = cache if cache is not None else OperatorCache()
+        self.cache.metrics = self.metrics
+        self.backlog = int(backlog)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.backlog)
+        self._batcher = RequestBatcher(max_batch=max_batch, max_wait=max_wait)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="tlr-serve"
+        )
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._started = False
+        self._drain_on_close = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="tlr-serve-dispatch", daemon=True
+        )
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+
+    def submit_solve(
+        self,
+        spec: OperatorSpec,
+        rhs: np.ndarray,
+        timeout: float | None = None,
+        refine: bool = False,
+    ) -> RequestHandle:
+        """Queue ``A x = rhs`` against the operator described by ``spec``.
+
+        A 1-D ``rhs`` returns a 1-D solution and may be coalesced with
+        concurrent requests on the same operator; a 2-D ``rhs`` is
+        already a blocked solve and runs as submitted.
+        """
+        rhs = np.asarray(rhs, dtype=DTYPE)
+        if rhs.ndim not in (1, 2):
+            raise RequestFailedError(f"rhs must be 1-D or 2-D, got {rhs.shape}")
+        if rhs.shape[0] != spec.n:
+            raise RequestFailedError(
+                f"rhs has {rhs.shape[0]} rows, operator order is {spec.n}"
+            )
+        return self._submit(
+            Request(
+                kind="solve",
+                spec=spec,
+                handle=RequestHandle(next(_request_ids), "solve"),
+                rhs=rhs.copy(),
+                refine=refine,
+                deadline=self._deadline(timeout),
+            )
+        )
+
+    def submit_logdet(
+        self, spec: OperatorSpec, timeout: float | None = None
+    ) -> RequestHandle:
+        """Queue a ``log det A`` request (memoized per cached factor)."""
+        return self._submit(
+            Request(
+                kind="logdet",
+                spec=spec,
+                handle=RequestHandle(next(_request_ids), "logdet"),
+                deadline=self._deadline(timeout),
+            )
+        )
+
+    def submit_deformation(
+        self,
+        spec: OperatorSpec,
+        boundary_displacements: np.ndarray,
+        timeout: float | None = None,
+        refine: bool = False,
+    ) -> RequestHandle:
+        """Queue an RBF mesh-deformation weights solve: ``A W = d_b``.
+
+        ``boundary_displacements`` is the ``(n, 3)`` displacement field
+        of the boundary nodes; the result is the ``(n, 3)`` interpolation
+        weight matrix (one blocked 3-RHS solve).
+        """
+        d_b = np.asarray(boundary_displacements, dtype=DTYPE)
+        if d_b.ndim != 2 or d_b.shape[1] != 3:
+            raise RequestFailedError(
+                f"displacements must have shape (n, 3), got {d_b.shape}"
+            )
+        return self.submit_solve(spec, d_b, timeout=timeout, refine=refine)
+
+    def start(self) -> None:
+        """Start the dispatcher (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        self._dispatcher.start()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work and shut the pipeline down.
+
+        With ``drain=True`` (graceful) every already-accepted request
+        is executed first; with ``drain=False`` queued requests fail
+        with :class:`ServiceClosedError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain_on_close = drain
+            started = self._started
+        if started:
+            self._queue.put(_SENTINEL)
+            self._dispatcher.join()
+        # catch stragglers that raced the closed flag (and, for a
+        # never-started service, everything staged in the queue)
+        self._fail_queued(ServiceClosedError("service closed"))
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission internals
+    # ------------------------------------------------------------------
+
+    def _deadline(self, timeout: float | None) -> float | None:
+        if timeout is None:
+            return None
+        if timeout <= 0.0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        return time.monotonic() + timeout
+
+    def _submit(self, req: Request) -> RequestHandle:
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+        try:
+            self._queue.put_nowait(req)
+        except queue.Full:
+            self.metrics.count("rejected_backlog")
+            raise BacklogFullError(
+                f"backlog full ({self.backlog} requests queued)"
+            ) from None
+        self.metrics.count("submitted")
+        return req.handle
+
+    def _fail_queued(self, exc: Exception) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SENTINEL:
+                item.handle.set_exception(exc)
+                self.metrics.count("failed")
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            flush_at = self._batcher.next_deadline()
+            timeout = (
+                None if flush_at is None else max(0.0, flush_at - time.monotonic())
+            )
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                item = None
+            if item is _SENTINEL:
+                self._shutdown_dispatch()
+                return
+            if item is not None:
+                self._route(item)
+            for batch in self._batcher.due():
+                self._launch(batch)
+
+    def _route(self, req: Request) -> None:
+        if req.expired():
+            self._expire(req)
+            return
+        if not req.batchable:
+            self._launch([req])
+            return
+        batch = self._batcher.add(req.batch_key, req)
+        if batch is not None:
+            self._launch(batch)
+
+    def _shutdown_dispatch(self) -> None:
+        """Drain (or fail) everything accepted before the sentinel."""
+        closed_exc = ServiceClosedError("service closed")
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                continue
+            if self._drain_on_close:
+                self._route(item)
+            else:
+                item.handle.set_exception(closed_exc)
+                self.metrics.count("failed")
+        for batch in self._batcher.flush_all():
+            if self._drain_on_close:
+                self._launch(batch)
+            else:
+                for req in batch:
+                    req.handle.set_exception(closed_exc)
+                    self.metrics.count("failed")
+
+    def _launch(self, batch: list[Request]) -> None:
+        self._executor.submit(self._execute_batch, batch)
+
+    # ------------------------------------------------------------------
+    # execution (worker threads)
+    # ------------------------------------------------------------------
+
+    def _worker_id(self) -> int:
+        name = threading.current_thread().name
+        try:
+            return 1 + int(name.rsplit("_", 1)[1])
+        except (IndexError, ValueError):
+            return 0
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _expire(self, req: Request) -> None:
+        req.handle.set_exception(
+            DeadlineExpiredError(f"request {req.handle.request_id} deadline passed")
+        )
+        self.metrics.count("expired")
+
+    def _execute_batch(self, batch: list[Request]) -> None:
+        live = []
+        for req in batch:
+            if req.expired():
+                self._expire(req)
+            else:
+                live.append(req)
+        if not live:
+            return
+        worker = self._worker_id()
+        try:
+            t0 = self._now()
+            entry, outcome = self.cache.acquire(live[0].spec)
+            t1 = self._now()
+            if outcome != "hit":
+                self.metrics.record_event(
+                    "BUILD" if outcome == "build" else "DISK_LOAD",
+                    (live[0].spec.n,),
+                    t0,
+                    t1,
+                    worker=worker,
+                )
+            self._run_kind(live, entry, worker)
+        except Exception as exc:  # typed service errors included
+            for req in live:
+                req.handle.set_exception(exc)
+            self.metrics.count("failed", len(live))
+
+    def _run_kind(self, live: list[Request], entry: CacheEntry, worker: int) -> None:
+        from repro.core.solver import solve_cholesky
+        from repro.linalg.matvec import refine_solve
+
+        kind = live[0].kind
+        t0 = self._now()
+        if kind == "logdet":
+            value = entry.logdet()
+            results = [value] * len(live)
+            params: tuple[int, ...] = (len(live),)
+        elif kind == "solve":
+            if len(live) == 1:
+                block = live[0].rhs
+            else:
+                block = np.stack([r.rhs for r in live], axis=1)
+            if live[0].refine:
+                x = refine_solve(entry.operator, entry.factor, block).x
+            else:
+                x = solve_cholesky(entry.factor, block)
+            if len(live) == 1:
+                results = [x]
+            else:
+                results = [np.ascontiguousarray(x[:, j]) for j in range(len(live))]
+            ncols = 1 if block.ndim == 1 else block.shape[1]
+            params = (len(live), ncols)
+            self.metrics.record_batch(ncols)
+        else:
+            raise RequestFailedError(f"unknown request kind {kind!r}")
+        t1 = self._now()
+        self.metrics.record_event(
+            kind.upper(), params, t0, t1, worker=worker
+        )
+        done_at = time.monotonic()
+        for req, res in zip(live, results):
+            req.handle.set_result(res)
+            self.metrics.record_latency(kind, done_at - req.submitted_at)
+        self.metrics.count("completed", len(live))

@@ -63,3 +63,65 @@ class TestRoundtrip:
         np.savez_compressed(path, **arrays)
         with pytest.raises(ValueError, match="version"):
             load_tlr(path)
+
+
+class TestFactorRoundtripSolve:
+    """Cache-persistence contract of the serving subsystem: a factor
+    saved and reloaded must solve to the same answer as the in-memory
+    factor, to machine precision — including null tiles."""
+
+    @pytest.fixture(scope="class")
+    def factor(self, sparse_tlr):
+        from repro.core import hicma_parsec_factorize
+
+        return hicma_parsec_factorize(sparse_tlr.copy()).factor
+
+    def test_factor_retains_null_tiles(self, factor):
+        from repro.linalg.tile import TileKind
+
+        kinds = {t.kind for (_, _), t in factor}
+        assert TileKind.NULL in kinds  # the contract covers null tiles
+
+    def test_solve_after_roundtrip_matches_memory(self, factor, tmp_path):
+        from repro.core.solver import solve_cholesky
+
+        rng = np.random.default_rng(21)
+        b = rng.standard_normal(factor.n)
+        x_mem = solve_cholesky(factor, b)
+
+        path = tmp_path / "factor.npz"
+        save_tlr(factor, path)
+        x_disk = solve_cholesky(load_tlr(path), b)
+        # machine precision relative to the solution norm (the tiles
+        # round-trip bit-exactly; only BLAS layout choices may differ)
+        diff = np.linalg.norm(x_mem - x_disk)
+        assert diff <= 1e-13 * np.linalg.norm(x_mem)
+
+    def test_blocked_solve_after_roundtrip(self, factor, tmp_path):
+        from repro.core.solver import solve_cholesky
+
+        rng = np.random.default_rng(22)
+        block = rng.standard_normal((factor.n, 4))
+        path = tmp_path / "factor.npz"
+        save_tlr(factor, path, compressed=False)
+        back = load_tlr(path)
+        x_mem = solve_cholesky(factor, block)
+        x_disk = solve_cholesky(back, block)
+        diff = np.linalg.norm(x_mem - x_disk)
+        assert diff <= 1e-13 * np.linalg.norm(x_mem)
+
+    def test_logdet_after_roundtrip(self, factor, tmp_path):
+        from repro.core.solver import logdet
+
+        path = tmp_path / "factor.npz"
+        save_tlr(factor, path)
+        assert logdet(load_tlr(path)) == pytest.approx(logdet(factor), rel=1e-14)
+
+    def test_uncompressed_save_roundtrip_identical(self, sparse_tlr, tmp_path):
+        """compressed=False changes only the container, not the data."""
+        p1 = tmp_path / "c.npz"
+        p2 = tmp_path / "u.npz"
+        save_tlr(sparse_tlr, p1, compressed=True)
+        save_tlr(sparse_tlr, p2, compressed=False)
+        assert np.array_equal(load_tlr(p1).to_dense(), load_tlr(p2).to_dense())
+        assert p2.stat().st_size >= p1.stat().st_size

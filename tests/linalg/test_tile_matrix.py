@@ -113,3 +113,31 @@ class TestValidation:
                  (1, 0): NullTile((5, 5)), (0, 1): NullTile((5, 5))}
         with pytest.raises(ValueError):
             TLRMatrix(10, 5, tiles, accuracy=1e-4)
+
+
+class TestColumnStructureCache:
+    def test_matches_brute_force(self, sparse_tlr):
+        structure = sparse_tlr.lower_column_structure()
+        nt = sparse_tlr.n_tiles
+        for k in range(nt):
+            expected = [
+                m for m in range(k + 1, nt)
+                if not sparse_tlr.tile(m, k).is_null
+            ]
+            assert structure[k] == expected
+
+    def test_cached_until_invalidated(self, sparse_tlr):
+        a = sparse_tlr.copy()
+        first = a.lower_column_structure()
+        assert a.lower_column_structure() is first  # cached
+
+        # turn one non-null off-diagonal tile into a null: structure
+        # must be recomputed and must drop that entry
+        target = next(
+            (m, k) for (m, k), t in a if m != k and not t.is_null
+        )
+        m, k = target
+        a.set_tile(m, k, NullTile(a.tile(m, k).shape))
+        updated = a.lower_column_structure()
+        assert updated is not first
+        assert m not in updated[k]

@@ -1,0 +1,52 @@
+"""Service-suite fixtures: a tiny servable operator that builds fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_cloud
+from repro.service import OperatorSpec
+
+
+@pytest.fixture(scope="session")
+def small_points():
+    return random_cloud(180, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_spec(small_points):
+    """A 180-point operator (NT=3) that builds in well under a second."""
+    return OperatorSpec(
+        points=small_points,
+        shape_parameter=0.05,
+        tile_size=60,
+        accuracy=1e-6,
+        nugget=1e-3,
+        label="test-op",
+    )
+
+
+@pytest.fixture(scope="session")
+def other_spec(small_spec):
+    """A second, distinct operator (different geometry seed)."""
+    return OperatorSpec(
+        points=random_cloud(180, seed=7),
+        shape_parameter=0.05,
+        tile_size=60,
+        accuracy=1e-6,
+        nugget=1e-3,
+        label="test-op-2",
+    )
+
+
+@pytest.fixture(scope="session")
+def built(small_spec):
+    """The reference build of ``small_spec`` (operator + factor)."""
+    return small_spec.build()
+
+
+@pytest.fixture()
+def rhs(small_spec):
+    rng = np.random.default_rng(11)
+    return rng.standard_normal(small_spec.n)

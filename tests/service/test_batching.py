@@ -1,0 +1,95 @@
+"""Tests for the pure request-coalescing policy (no threads)."""
+
+import pytest
+
+from repro.service import RequestBatcher
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestSizeTrigger:
+    def test_batch_released_at_max_batch(self, clock):
+        b = RequestBatcher(max_batch=3, max_wait=1.0, clock=clock)
+        assert b.add("k", 1) is None
+        assert b.add("k", 2) is None
+        assert b.add("k", 3) == [1, 2, 3]
+        assert b.pending_count == 0
+
+    def test_max_batch_one_is_unbatched(self, clock):
+        b = RequestBatcher(max_batch=1, max_wait=1.0, clock=clock)
+        assert b.add("k", "only") == ["only"]
+
+    def test_distinct_keys_never_mix(self, clock):
+        b = RequestBatcher(max_batch=2, max_wait=1.0, clock=clock)
+        assert b.add("a", 1) is None
+        assert b.add("b", 2) is None
+        assert b.add("a", 3) == [1, 3]
+        assert b.add("b", 4) == [2, 4]
+
+
+class TestLatencyTrigger:
+    def test_window_measured_from_oldest_item(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=0.5, clock=clock)
+        b.add("k", 1)
+        clock.advance(0.4)
+        b.add("k", 2)  # does not reset the window
+        assert b.due() == []
+        clock.advance(0.1)
+        assert b.due() == [[1, 2]]
+
+    def test_due_pops_only_expired_groups(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=0.5, clock=clock)
+        b.add("old", 1)
+        clock.advance(0.3)
+        b.add("new", 2)
+        clock.advance(0.25)
+        assert b.due() == [[1]]
+        assert len(b) == 1  # "new" still pending
+
+    def test_next_deadline(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=0.5, clock=clock)
+        assert b.next_deadline() is None
+        b.add("k", 1)
+        assert b.next_deadline() == pytest.approx(0.5)
+        clock.advance(0.2)
+        b.add("k2", 2)
+        assert b.next_deadline() == pytest.approx(0.5)  # oldest wins
+
+    def test_zero_wait_flushes_immediately(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=0.0, clock=clock)
+        b.add("k", 1)
+        assert b.due() == [[1]]
+
+
+class TestFlushAll:
+    def test_flush_all_drains_everything(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=9.0, clock=clock)
+        b.add("a", 1)
+        b.add("b", 2)
+        batches = b.flush_all()
+        assert sorted(batch[0] for batch in batches) == [1, 2]
+        assert len(b) == 0 and b.pending_count == 0
+
+
+class TestValidation:
+    def test_bad_max_batch(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(max_batch=0)
+
+    def test_bad_max_wait(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(max_wait=-0.1)

@@ -1,0 +1,219 @@
+"""End-to-end tests for the solve-serving front end.
+
+Timing-sensitive behaviours (overload, deadlines, coalescing) are made
+deterministic by constructing the service with ``start=False``: the
+queue and backlog fill synchronously, and the dispatcher only runs
+once the stage is set.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.solver import logdet, solve_cholesky
+from repro.service import (
+    BacklogFullError,
+    DeadlineExpiredError,
+    OperatorCache,
+    RequestFailedError,
+    ServiceClosedError,
+    SolveService,
+)
+
+TIMEOUT = 60.0  # generous per-result wait; everything here runs in ms
+
+
+@pytest.fixture()
+def warm_cache(small_spec):
+    """A cache already holding the small operator (no build latency in
+    the tests that only exercise the serving path)."""
+    cache = OperatorCache()
+    cache.get_or_build(small_spec)
+    return cache
+
+
+class TestCorrectness:
+    def test_single_solve_matches_direct(self, small_spec, warm_cache, rhs):
+        entry = warm_cache.get_or_build(small_spec)
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            x = svc.submit_solve(small_spec, rhs).result(TIMEOUT)
+        assert x.ndim == 1
+        assert np.allclose(x, solve_cholesky(entry.factor, rhs), rtol=1e-12)
+
+    def test_coalesced_batch_matches_columnwise(self, small_spec, warm_cache):
+        """Staged concurrent submits coalesce into one blocked solve
+        whose per-request answers match individual solves."""
+        entry = warm_cache.get_or_build(small_spec)
+        rng = np.random.default_rng(5)
+        rhs_list = [rng.standard_normal(small_spec.n) for _ in range(6)]
+        svc = SolveService(
+            cache=warm_cache, workers=1, max_batch=6, max_wait=5.0, start=False
+        )
+        handles = [svc.submit_solve(small_spec, b) for b in rhs_list]
+        svc.start()
+        results = [h.result(TIMEOUT) for h in handles]
+        svc.close()
+        assert svc.metrics.to_dict()["batch"]["max"] == 6
+        for b, x in zip(rhs_list, results):
+            assert np.allclose(
+                x, solve_cholesky(entry.factor, b), rtol=1e-10, atol=1e-12
+            )
+
+    def test_2d_rhs_served_blocked(self, small_spec, warm_cache):
+        entry = warm_cache.get_or_build(small_spec)
+        rng = np.random.default_rng(6)
+        block = rng.standard_normal((small_spec.n, 4))
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            x = svc.submit_solve(small_spec, block).result(TIMEOUT)
+        assert x.shape == block.shape
+        assert np.allclose(x, solve_cholesky(entry.factor, block), rtol=1e-12)
+
+    def test_logdet_matches_core(self, small_spec, warm_cache):
+        entry = warm_cache.get_or_build(small_spec)
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            value = svc.submit_logdet(small_spec).result(TIMEOUT)
+        assert value == pytest.approx(logdet(entry.factor))
+
+    def test_deformation_weights(self, small_spec, warm_cache):
+        rng = np.random.default_rng(8)
+        d_b = rng.standard_normal((small_spec.n, 3))
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            w = svc.submit_deformation(small_spec, d_b).result(TIMEOUT)
+            with pytest.raises(RequestFailedError):
+                svc.submit_deformation(small_spec, d_b[:, :2])
+        assert w.shape == (small_spec.n, 3)
+
+    def test_refined_solve_is_more_accurate(self, small_spec, warm_cache, rhs):
+        from repro.linalg.matvec import tlr_matvec
+
+        entry = warm_cache.get_or_build(small_spec)
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            x_direct = svc.submit_solve(small_spec, rhs).result(TIMEOUT)
+            x_refined = svc.submit_solve(small_spec, rhs, refine=True).result(TIMEOUT)
+        res = lambda x: np.linalg.norm(tlr_matvec(entry.operator, x) - rhs)
+        assert res(x_refined) <= res(x_direct) + 1e-12
+
+    def test_rhs_shape_validated_synchronously(self, small_spec, warm_cache):
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            with pytest.raises(RequestFailedError):
+                svc.submit_solve(small_spec, np.ones(small_spec.n + 1))
+            with pytest.raises(RequestFailedError):
+                svc.submit_solve(small_spec, np.ones((2, 2, 2)))
+
+
+class TestCaching:
+    def test_warm_requests_do_zero_build_work(self, small_spec):
+        """Acceptance: warm-cache solves skip matgen + compression +
+        factorization entirely, observable via the cache counters."""
+        cache = OperatorCache()
+        rng = np.random.default_rng(9)
+        with SolveService(cache=cache, workers=1) as svc:
+            svc.submit_solve(small_spec, rng.standard_normal(small_spec.n)).result(
+                TIMEOUT
+            )
+            assert cache.builds == 1
+            for _ in range(5):
+                svc.submit_solve(
+                    small_spec, rng.standard_normal(small_spec.n)
+                ).result(TIMEOUT)
+            assert cache.builds == 1  # never rebuilt
+            assert cache.misses == 1
+            assert cache.hits >= 5
+            snap = svc.metrics.to_dict()
+        assert snap["counters"]["cache_builds"] == 1
+        assert snap["cache_hit_rate"] > 0.8
+
+    def test_build_traced(self, small_spec):
+        with SolveService(cache=OperatorCache(), workers=1) as svc:
+            svc.submit_logdet(small_spec).result(TIMEOUT)
+            classes = {e.klass for e in svc.metrics.trace.events}
+        assert "BUILD" in classes and "LOGDET" in classes
+
+
+class TestOverload:
+    def test_backlog_rejection_is_typed_and_synchronous(
+        self, small_spec, warm_cache, rhs
+    ):
+        svc = SolveService(
+            cache=warm_cache, workers=1, backlog=2, start=False
+        )
+        h1 = svc.submit_solve(small_spec, rhs)
+        h2 = svc.submit_solve(small_spec, rhs)
+        with pytest.raises(BacklogFullError):
+            svc.submit_solve(small_spec, rhs)
+        assert svc.metrics.counter("rejected_backlog") == 1
+        # accepted requests still complete once the dispatcher runs
+        svc.start()
+        assert h1.result(TIMEOUT) is not None
+        assert h2.result(TIMEOUT) is not None
+        svc.close()
+
+    def test_expired_deadline_never_executes(self, small_spec, rhs):
+        """Acceptance: a request whose deadline passed before dispatch
+        is rejected with the typed error and triggers no numerical
+        work at all (not even the operator build)."""
+        cache = OperatorCache()
+        svc = SolveService(cache=cache, workers=1, start=False)
+        h = svc.submit_solve(small_spec, rhs, timeout=0.005)
+        time.sleep(0.05)  # let the deadline lapse while staged
+        svc.start()
+        with pytest.raises(DeadlineExpiredError):
+            h.result(TIMEOUT)
+        svc.close()
+        assert svc.metrics.counter("expired") == 1
+        assert svc.metrics.counter("completed") == 0
+        assert cache.builds == 0  # the expensive path never ran
+
+    def test_deadline_in_future_completes(self, small_spec, warm_cache, rhs):
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            x = svc.submit_solve(small_spec, rhs, timeout=30.0).result(TIMEOUT)
+        assert x is not None
+
+    def test_nonpositive_timeout_rejected(self, small_spec, warm_cache, rhs):
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            with pytest.raises(ValueError):
+                svc.submit_solve(small_spec, rhs, timeout=0.0)
+
+
+class TestShutdown:
+    def test_submit_after_close_raises(self, small_spec, warm_cache, rhs):
+        svc = SolveService(cache=warm_cache, workers=1)
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit_solve(small_spec, rhs)
+
+    def test_graceful_close_drains_accepted_work(
+        self, small_spec, warm_cache, rhs
+    ):
+        svc = SolveService(cache=warm_cache, workers=1, start=False)
+        handles = [svc.submit_solve(small_spec, rhs) for _ in range(3)]
+        svc.start()
+        svc.close(drain=True)
+        for h in handles:
+            assert h.result(TIMEOUT) is not None
+
+    def test_abandoning_close_fails_staged_work(
+        self, small_spec, warm_cache, rhs
+    ):
+        svc = SolveService(cache=warm_cache, workers=1, start=False)
+        h = svc.submit_solve(small_spec, rhs)
+        svc.close(drain=False)
+        with pytest.raises(ServiceClosedError):
+            h.result(TIMEOUT)
+
+    def test_close_idempotent(self, warm_cache):
+        svc = SolveService(cache=warm_cache, workers=1)
+        svc.close()
+        svc.close()
+
+    def test_handle_repr_and_timeout(self, small_spec, warm_cache, rhs):
+        svc = SolveService(cache=warm_cache, workers=1, start=False)
+        h = svc.submit_solve(small_spec, rhs)
+        assert "pending" in repr(h)
+        with pytest.raises(TimeoutError):
+            h.result(timeout=0.01)
+        svc.start()
+        h.result(TIMEOUT)
+        assert "done" in repr(h)
+        svc.close()

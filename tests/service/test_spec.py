@@ -1,0 +1,111 @@
+"""Tests for operator specs and their content fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_cloud
+from repro.service import KERNELS, OperatorSpec
+
+
+def clone(spec: OperatorSpec, **overrides) -> OperatorSpec:
+    kwargs = dict(
+        points=spec.points,
+        shape_parameter=spec.shape_parameter,
+        tile_size=spec.tile_size,
+        accuracy=spec.accuracy,
+        kernel=spec.kernel,
+        nugget=spec.nugget,
+        max_rank=spec.max_rank,
+        label=spec.label,
+    )
+    kwargs.update(overrides)
+    return OperatorSpec(**kwargs)
+
+
+class TestFingerprint:
+    def test_deterministic_across_instances(self, small_spec):
+        again = clone(small_spec)
+        assert again is not small_spec
+        assert again.fingerprint == small_spec.fingerprint
+
+    def test_label_excluded(self, small_spec):
+        assert clone(small_spec, label="renamed").fingerprint == small_spec.fingerprint
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"shape_parameter": 0.06},
+            {"tile_size": 90},
+            {"accuracy": 1e-5},
+            {"nugget": 1e-2},
+            {"kernel": "multiquadric"},
+            {"max_rank": 7},
+        ],
+    )
+    def test_every_knob_changes_fingerprint(self, small_spec, override):
+        assert clone(small_spec, **override).fingerprint != small_spec.fingerprint
+
+    def test_geometry_changes_fingerprint(self, small_spec):
+        moved = np.array(small_spec.points)
+        moved[0, 0] += 1e-9
+        assert clone(small_spec, points=moved).fingerprint != small_spec.fingerprint
+
+    def test_hex_digest_shape(self, small_spec):
+        fp = small_spec.fingerprint
+        assert len(fp) == 64
+        int(fp, 16)  # valid hex
+
+
+class TestValidation:
+    def test_bad_points_shape(self):
+        with pytest.raises(ValueError, match="points"):
+            OperatorSpec(
+                points=np.zeros((4, 2)),
+                shape_parameter=0.1,
+                tile_size=2,
+                accuracy=1e-6,
+            )
+
+    def test_unknown_kernel(self, small_points):
+        with pytest.raises(ValueError, match="kernel"):
+            OperatorSpec(
+                points=small_points,
+                shape_parameter=0.1,
+                tile_size=60,
+                accuracy=1e-6,
+                kernel="sinc",
+            )
+
+    def test_kernel_registry_names(self):
+        assert "gaussian" in KERNELS
+
+    def test_points_frozen(self, small_spec):
+        with pytest.raises(ValueError):
+            small_spec.points[0, 0] = 99.0
+
+
+class TestBuild:
+    def test_build_products(self, small_spec, built):
+        assert built.operator.n == small_spec.n
+        assert built.factor.n == small_spec.n
+        assert built.compress_seconds >= 0.0
+        assert built.factorize_seconds >= 0.0
+
+    def test_factor_solves_operator(self, built, rhs):
+        from repro.core.solver import solve_cholesky
+        from repro.linalg.matvec import tlr_matvec
+
+        x = solve_cholesky(built.factor, rhs)
+        res = np.linalg.norm(tlr_matvec(built.operator, x) - rhs)
+        assert res / np.linalg.norm(rhs) < 1e-5
+
+    def test_operator_not_mutated_by_factorization(self, small_spec, built):
+        # the operator snapshot must be the *unfactorized* compression
+        rebuilt = small_spec.build()
+        assert np.allclose(
+            rebuilt.operator.to_dense(), built.operator.to_dense()
+        )
+        assert not np.allclose(
+            built.factor.to_dense(symmetrize=False),
+            built.operator.to_dense(symmetrize=False),
+        )

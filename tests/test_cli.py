@@ -74,3 +74,33 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "<-- best" in out
+
+    def test_serve(self, capsys, tmp_path):
+        trace = tmp_path / "serve_trace.json"
+        rc = main(
+            ["serve", "--viruses", "2", "--points-per-virus", "120",
+             "--tile-size", "60", "--requests", "12", "--operators", "1",
+             "--trace", str(trace)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hit-rate" in out and "latency[solve]" in out
+        data = json.loads(trace.read_text())
+        names = {e["args"]["name"] for e in data["traceEvents"]
+                 if e["ph"] == "M"}
+        assert "repro.service" in names and "dispatcher" in names
+
+    def test_bench_serve(self, capsys, tmp_path):
+        out_json = tmp_path / "bench.json"
+        rc = main(
+            ["bench-serve", "--viruses", "2", "--points-per-virus", "100",
+             "--tile-size", "50", "--requests", "8", "--repeats", "1",
+             "--json", str(out_json)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cold latency" in out and "speedup" in out
+        result = json.loads(out_json.read_text())
+        assert result["requests"] == 8
+        assert result["cache"]["builds"] == 1
+        assert result["batched"]["throughput_rps"] > 0
