@@ -49,9 +49,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shape parameter as a multiple of half min spacing")
     f.add_argument("--no-trim", action="store_true",
                    help="disable DAG trimming (Lorapo-style full DAG)")
+    f.add_argument("--workers", type=int, default=None,
+                   help="DAG worker threads (default $REPRO_WORKERS or "
+                        "serial; 0 = one per core)")
     f.add_argument("--seed", type=int, default=0)
     f.add_argument("--trace", type=str, default=None,
-                   help="write a Chrome trace JSON of the execution")
+                   help="write a Chrome trace JSON of the execution "
+                        "(one lane per worker)")
 
     s = sub.add_parser("simulate", help="at-scale performance estimate")
     s.add_argument("--machine", choices=["shaheen", "fugaku"], default="shaheen")
@@ -91,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--requests", type=int, default=48,
                     help="total solve/logdet requests to fire")
     sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--factor-workers", type=int, default=None,
+                    help="DAG worker threads for cache-miss "
+                         "factorizations (0 = one per core)")
     sv.add_argument("--backlog", type=int, default=256)
     sv.add_argument("--max-batch", type=int, default=16)
     sv.add_argument("--max-wait", type=float, default=0.005,
@@ -112,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     bs.add_argument("--points-per-virus", type=int, default=400)
     bs.add_argument("--tile-size", type=int, default=200)
     bs.add_argument("--accuracy", type=float, default=1e-6)
+    bs.add_argument("--workers", type=int, default=None,
+                    help="DAG worker threads for the cold build "
+                         "(0 = one per core)")
     bs.add_argument("--json", type=str, default=None,
                     help="also write the result dict to this JSON file")
     return p
@@ -153,13 +163,19 @@ def _cmd_factorize(args) -> int:
     stats = a.off_diagonal_rank_stats()
     print(f"N={gen.n}, NT={a.n_tiles}, density={a.density():.3f}, "
           f"ranks max/avg {stats['max']:.0f}/{stats['avg']:.1f}")
-    result = tlr_cholesky(a, trim=not args.no_trim)
+    from repro.runtime.parallel import resolve_workers
+
+    nworkers = resolve_workers(args.workers)
+    result = tlr_cholesky(a, trim=not args.no_trim, workers=args.workers)
     print(f"tasks: {len(result.graph)} {result.graph.task_counts()}")
     print(f"factorization: {result.elapsed:.3f} s "
-          f"({'trimmed' if not args.no_trim else 'full DAG'})")
+          f"({'trimmed' if not args.no_trim else 'full DAG'}, "
+          f"{nworkers} worker{'s' if nworkers != 1 else ''})")
     print(f"residual: {result.residual(gen.dense()):.2e}")
     if args.trace:
-        result.trace.save_chrome_trace(args.trace)
+        result.trace.save_chrome_trace(
+            args.trace, process_name="repro.factorize", label_worker_lanes=True
+        )
         print(f"trace written to {args.trace}")
     return 0
 
@@ -267,6 +283,7 @@ def _cmd_serve(args) -> int:
         backlog=args.backlog,
         max_batch=args.max_batch,
         max_wait=args.max_wait,
+        factor_workers=args.factor_workers,
     ) as svc:
         handles = []
         for i in range(args.requests):
@@ -318,7 +335,10 @@ def _cmd_bench_serve(args) -> int:
     )
     try:
         result = run_throughput_benchmark(
-            spec=spec, requests=args.requests, repeats=args.repeats
+            spec=spec,
+            requests=args.requests,
+            repeats=args.repeats,
+            factor_workers=args.workers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

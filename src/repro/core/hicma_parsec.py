@@ -92,7 +92,9 @@ HICMA_PARSEC = FrameworkConfig(
 
 
 def hicma_parsec_factorize(
-    a: TLRMatrix, scheduler: Scheduler | None = None
+    a: TLRMatrix,
+    scheduler: Scheduler | None = None,
+    workers: int | None = None,
 ) -> FactorizationResult:
     """Numeric HiCMA-PaRSEC factorization: trimmed DAG."""
-    return tlr_cholesky(a, trim=True, scheduler=scheduler)
+    return tlr_cholesky(a, trim=True, scheduler=scheduler, workers=workers)

@@ -66,7 +66,9 @@ LORAPO = FrameworkConfig(
 
 
 def lorapo_factorize(
-    a: TLRMatrix, scheduler: Scheduler | None = None
+    a: TLRMatrix,
+    scheduler: Scheduler | None = None,
+    workers: int | None = None,
 ) -> FactorizationResult:
     """Numeric Lorapo factorization: full dense DAG, no trimming."""
-    return tlr_cholesky(a, trim=False, scheduler=scheduler)
+    return tlr_cholesky(a, trim=False, scheduler=scheduler, workers=workers)

@@ -21,6 +21,7 @@ from repro.linalg.kernels_tlr import gemm_tile, potrf_tile, syrk_tile, trsm_tile
 from repro.linalg.tile_matrix import TLRMatrix
 from repro.runtime.dag import TaskGraph, build_graph
 from repro.runtime.engine import ExecutionEngine
+from repro.runtime.parallel import engine_for
 from repro.runtime.scheduler import PriorityScheduler, Scheduler
 from repro.runtime.task import Task
 from repro.runtime.tracing import Trace
@@ -102,6 +103,7 @@ def tlr_cholesky(
     a: TLRMatrix,
     trim: bool = True,
     scheduler: Scheduler | None = None,
+    workers: int | None = None,
 ) -> FactorizationResult:
     """Factorize a TLR matrix in place: ``A = L L^T``.
 
@@ -114,6 +116,12 @@ def tlr_cholesky(
         ``False`` reproduces the baseline full dense DAG.
     scheduler:
         Ready-queue policy (default: priority, PaRSEC-like).
+    workers:
+        Worker threads executing the DAG.  ``None`` defaults to
+        ``$REPRO_WORKERS`` (else 1, the serial engine); ``<= 0`` means
+        one per CPU core.  The DAG's RAW/WAR/WAW edges order every
+        tile access, so the computed factor is identical across worker
+        counts.
 
     Raises
     ------
@@ -138,8 +146,8 @@ def tlr_cholesky(
     graph = build_graph(tasks)
     setup = time.perf_counter() - t0
 
-    engine = ExecutionEngine(
-        scheduler if scheduler is not None else PriorityScheduler()
+    engine = engine_for(
+        workers, scheduler if scheduler is not None else PriorityScheduler()
     )
     register_cholesky_kernels(engine)
     t1 = time.perf_counter()

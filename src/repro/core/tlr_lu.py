@@ -29,7 +29,7 @@ from repro.linalg.kernels_lu import (
 )
 from repro.linalg.tile import DenseTile, LowRankTile, NullTile
 from repro.runtime.dag import TaskGraph, build_graph
-from repro.runtime.engine import ExecutionEngine
+from repro.runtime.parallel import engine_for
 from repro.runtime.scheduler import PriorityScheduler
 from repro.runtime.task import Task, make_task
 from repro.runtime.tracing import Trace
@@ -145,14 +145,21 @@ class LUFactorizationResult:
         )
 
 
-def tlr_lu(a: GeneralTLRMatrix, trim: bool = True) -> LUFactorizationResult:
-    """Factorize ``A = L U`` in place over the runtime engine."""
+def tlr_lu(
+    a: GeneralTLRMatrix, trim: bool = True, workers: int | None = None
+) -> LUFactorizationResult:
+    """Factorize ``A = L U`` in place over the runtime engine.
+
+    ``workers`` follows the same convention as
+    :func:`~repro.core.tlr_cholesky.tlr_cholesky`: ``None`` defers to
+    ``$REPRO_WORKERS`` (else serial), ``<= 0`` means one per core.
+    """
     t0 = time.perf_counter()
     nt = a.n_tiles
     analysis = analyze_ranks_lu(a.rank_matrix(), nt) if trim else None
     graph = build_graph(lu_tasks(nt, analysis))
 
-    engine = ExecutionEngine(PriorityScheduler())
+    engine = engine_for(workers, PriorityScheduler())
 
     def k_getrf(task: Task, m: GeneralTLRMatrix) -> None:
         (k,) = task.params

@@ -136,10 +136,21 @@ def recompress(
     the small core — the standard low-rank rounding used by HiCMA.
 
     Cost: ``O((m+n) K^2 + K^3)`` for accumulated rank ``K``, versus
-    ``O(m n min(m, n))`` for recompressing the dense block.
+    ``O(m n min(m, n))`` for recompressing the dense block.  Two fast
+    paths: a rank-0 factor (possible for duck-typed callers; the
+    :class:`LowRankFactor` invariant forbids it) has nothing to round
+    and is returned untouched, and once ``K`` exceeds half the tile
+    dimension the economy QR-QR-SVD pipeline costs more than a single
+    dense SVD of the materialized block, so the dense route wins (the
+    truncation rule is identical, so the result is the same factor).
     """
     if tol <= 0.0:
         raise ValueError(f"tol must be positive, got {tol}")
+    if factor.rank == 0:
+        return factor
+    short_side = min(factor.shape)
+    if factor.rank >= max(1, short_side // 2):
+        return truncated_svd(factor.to_dense(), tol, relative=relative)
     qu, ru = sla.qr(factor.u, mode="economic", check_finite=False)
     qv, rv = sla.qr(factor.v, mode="economic", check_finite=False)
     core = ru @ rv.T

@@ -45,8 +45,9 @@ class TLRMatrix:
         self.accuracy = float(accuracy)
         self.max_rank = max_rank
         self._tiles = tiles
-        self._col_structure: list[list[int]] | None = None
         nt = self.n_tiles
+        #: per-column cache of sub-diagonal non-null rows (None = stale)
+        self._col_structure: list[list[int] | None] = [None] * nt
         for (m, k) in tiles:
             if not (0 <= k <= m < nt):
                 raise ValueError(f"tile index {(m, k)} outside lower triangle")
@@ -140,28 +141,31 @@ class TLRMatrix:
                 f"tile ({m}, {k}) shape {tile.shape} != expected {expected}"
             )
         self._tiles[(m, k)] = tile
-        self._col_structure = None
+        # invalidate only column k's structure cache: a single-tile
+        # write must not force a full NT^2 rescan on the next solve
+        self._col_structure[k] = None
 
     def lower_column_structure(self) -> list[list[int]]:
         """Per-column sorted lists of sub-diagonal non-null tile rows.
 
         ``structure[k]`` holds every ``m > k`` with a non-null stored
         tile ``(m, k)`` — the only tiles a triangular solve must touch
-        in column ``k``.  Computed once and cached; :meth:`set_tile`
-        invalidates the cache, so a factor that is solved against many
-        times (the serving hot path) pays the NT² structure scan once
-        instead of once per solve.
+        in column ``k``.  Cached per column; :meth:`set_tile`
+        invalidates only the written tile's column, so a factor that
+        is solved against many times (the serving hot path) pays each
+        column's O(NT) scan once, and a single-tile update rescans one
+        column instead of the whole NT² grid.
         """
-        if self._col_structure is None:
-            nt = self.n_tiles
-            cols: list[list[int]] = [[] for _ in range(nt)]
-            for (m, k), tile in self._tiles.items():
-                if m != k and not tile.is_null:
-                    cols[k].append(m)
-            for col in cols:
-                col.sort()
-            self._col_structure = cols
-        return self._col_structure
+        nt = self.n_tiles
+        cols = self._col_structure
+        for k in range(nt):
+            if cols[k] is None:
+                cols[k] = [
+                    m
+                    for m in range(k + 1, nt)
+                    if not self._tiles[(m, k)].is_null
+                ]
+        return cols
 
     def __iter__(self):
         """Iterate ``((m, k), tile)`` over the stored lower triangle."""

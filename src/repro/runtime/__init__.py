@@ -16,6 +16,11 @@ from repro.runtime.scheduler import (
     Scheduler,
 )
 from repro.runtime.engine import ExecutionEngine
+from repro.runtime.parallel import (
+    ParallelExecutionEngine,
+    engine_for,
+    resolve_workers,
+)
 from repro.runtime.dtd import TaskPool
 from repro.runtime.distributed_exec import DistributedExecutor, DistributedRunResult
 from repro.runtime.tracing import Trace, TraceEvent
@@ -31,6 +36,9 @@ __all__ = [
     "LIFOScheduler",
     "PriorityScheduler",
     "ExecutionEngine",
+    "ParallelExecutionEngine",
+    "engine_for",
+    "resolve_workers",
     "TaskPool",
     "DistributedExecutor",
     "DistributedRunResult",

@@ -1,0 +1,314 @@
+"""Multi-worker parallel execution of a task graph.
+
+The paper's runtime (PaRSEC) extracts the concurrency of the tile
+Cholesky DAG across worker threads; this module is the in-process
+analogue.  ``ParallelExecutionEngine`` runs a
+:class:`~repro.runtime.dag.TaskGraph` with N worker threads sharing a
+condition-variable-protected ready pool:
+
+* readiness is driven by indegree decrements under the pool lock, so a
+  task enters the ready pool the moment its last predecessor retires;
+* the pluggable :class:`~repro.runtime.scheduler.Scheduler` policies
+  (FIFO / LIFO / priority) order the ready pool exactly as they order
+  the serial engine's traversal — dispatch pops under the lock;
+* the first kernel exception *fails fast*: queued tasks are abandoned,
+  idle workers wake and exit, and the exception is re-raised in the
+  calling thread once in-flight kernels retire;
+* starvation is detected, not hung on: if every worker is idle, the
+  ready pool is empty, and unfinished tasks remain, the run aborts
+  with a diagnostic ``ValueError`` naming the stuck tasks.
+
+Correctness leans on :func:`~repro.runtime.dag.build_graph`'s
+RAW/WAR/WAW edges: two concurrently running tasks never touch the same
+tile, so kernels need no per-tile locks.  ``debug=True`` *asserts*
+that invariant at runtime with a per-tile ownership table instead of
+trusting it silently.
+
+The NumPy/SciPy tile kernels release the GIL inside BLAS/LAPACK, so
+worker threads genuinely overlap on multicore hardware with no
+pickling or shared-memory machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.runtime.dag import TaskGraph
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import Task
+from repro.runtime.tracing import Trace, TraceEvent
+
+__all__ = ["ParallelExecutionEngine", "resolve_workers", "engine_for"]
+
+#: Environment variable supplying the default worker count (used by the
+#: CI smoke job to sweep the whole core suite through the parallel
+#: engine without touching call sites).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable switching on the per-tile ownership assertion.
+DEBUG_ENV = "REPRO_ENGINE_DEBUG"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: explicit value > $REPRO_WORKERS > 1.
+
+    ``workers <= 0`` (explicit or from the environment) means "one per
+    CPU core".
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        workers = int(env)
+    workers = int(workers)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def debug_from_env() -> bool:
+    """Whether $REPRO_ENGINE_DEBUG requests the ownership assertion."""
+    return os.environ.get(DEBUG_ENV, "").strip() not in ("", "0")
+
+
+def engine_for(
+    workers: int | None, scheduler: Scheduler | None = None
+) -> ExecutionEngine:
+    """The cheapest engine that honours ``workers``.
+
+    One worker gets the serial :class:`ExecutionEngine` (no locks, no
+    threads); more get a :class:`ParallelExecutionEngine`.
+    """
+    n = resolve_workers(workers)
+    if n <= 1:
+        return ExecutionEngine(scheduler)
+    return ParallelExecutionEngine(
+        scheduler, workers=n, debug=debug_from_env()
+    )
+
+
+class _RunState:
+    """Shared mutable state of one ``run`` call (lives under the lock)."""
+
+    __slots__ = (
+        "indegree",
+        "completed",
+        "running",
+        "failure",
+        "started",
+        "owners",
+    )
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.indegree = [graph.in_degree(i) for i in range(len(graph))]
+        self.completed = 0
+        #: tasks popped from the ready pool and not yet retired
+        self.running = 0
+        self.failure: BaseException | None = None
+        #: task indices ever dispatched (diagnoses stuck tasks)
+        self.started: set[int] = set()
+        #: debug-mode tile ownership: key -> [writer_index | None, n_readers]
+        self.owners: dict[tuple[int, int], list] = {}
+
+
+class ParallelExecutionEngine(ExecutionEngine):
+    """Executes a task graph with ``workers`` threads.
+
+    Kernel registration and scheduler policy are inherited from
+    :class:`ExecutionEngine`; only the traversal is replaced.  A run
+    produces the same per-tile arithmetic as the serial engine — every
+    write sequence to a tile is ordered by the graph's edges — so
+    factors are bitwise-reproducible across worker counts.
+
+    Parameters
+    ----------
+    scheduler:
+        Ready-pool ordering policy (default: priority).
+    workers:
+        Worker thread count (>= 1).
+    debug:
+        Verify the no-concurrent-tile-access invariant on every
+        dispatch/retire (cheap: two dict passes per task under the
+        already-held lock).  A violation aborts the run with
+        ``ValueError`` — it means the graph builder under-constrained
+        the DAG, and the factorization cannot be trusted.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        workers: int = 2,
+        debug: bool = False,
+    ) -> None:
+        super().__init__(scheduler)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.debug = bool(debug)
+
+    # ------------------------------------------------------------------
+    # debug-mode tile ownership
+    # ------------------------------------------------------------------
+
+    def _claim(self, state: _RunState, task: Task) -> None:
+        """Register ``task``'s tile accesses; raise on any overlap."""
+        for acc in task.accesses:
+            slot = state.owners.setdefault(acc.key, [None, 0])
+            writer, readers = slot
+            if acc.mode.writes:
+                if writer is not None or readers:
+                    raise ValueError(
+                        f"tile ownership violation: {task} writes tile "
+                        f"{acc.key} while it is held by "
+                        f"{'a writer' if writer is not None else f'{readers} reader(s)'}"
+                        " — the task graph under-constrains the DAG"
+                    )
+                slot[0] = task
+            else:
+                if writer is not None:
+                    raise ValueError(
+                        f"tile ownership violation: {task} reads tile "
+                        f"{acc.key} while {writer} is writing it — the "
+                        "task graph under-constrains the DAG"
+                    )
+                slot[1] += 1
+
+    def _release(self, state: _RunState, task: Task) -> None:
+        for acc in task.accesses:
+            slot = state.owners[acc.key]
+            if acc.mode.writes:
+                slot[0] = None
+            else:
+                slot[1] -= 1
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+
+    def run(self, graph: TaskGraph, data: object, trace: Trace | None = None) -> Trace:
+        """Execute every task; returns the (thread-safely filled) trace.
+
+        Raises the first kernel exception (fail-fast), ``KeyError`` for
+        an unregistered task class, and ``ValueError`` when the graph
+        stalls (cycle / unsatisfiable dependencies) or — in debug mode
+        — when two concurrent tasks touch one tile.
+        """
+        if trace is None:
+            trace = Trace()
+        n = len(graph)
+        if n == 0:
+            return trace
+        # Fail before spawning threads, like the serial engine does on
+        # its first pop.
+        missing = {t.klass for t in graph.tasks} - set(self._kernels)
+        if missing:
+            raise KeyError(
+                f"no kernel registered for task class(es) {sorted(missing)}"
+            )
+
+        state = _RunState(graph)
+        cond = threading.Condition()
+        scheduler = self.scheduler
+        for i in range(n):
+            if state.indegree[i] == 0:
+                scheduler.push(i, graph.tasks[i])
+
+        t0 = time.perf_counter()
+
+        def worker(lane: int) -> None:
+            while True:
+                with cond:
+                    while True:
+                        if state.failure is not None or state.completed == n:
+                            return
+                        if scheduler:
+                            i = scheduler.pop()
+                            state.running += 1
+                            state.started.add(i)
+                            break
+                        if state.running == 0:
+                            # Nothing ready, nothing in flight, tasks
+                            # remain: the graph can never finish.
+                            stuck = [
+                                str(graph.tasks[j])
+                                for j in range(n)
+                                if j not in state.started
+                            ]
+                            shown = ", ".join(stuck[:8])
+                            if len(stuck) > 8:
+                                shown += f", ... ({len(stuck) - 8} more)"
+                            state.failure = ValueError(
+                                f"execution stalled with {len(stuck)} of {n} "
+                                f"tasks blocked (cycle or unsatisfiable "
+                                f"dependencies): {shown}"
+                            )
+                            cond.notify_all()
+                            return
+                        cond.wait()
+                    task = graph.tasks[i]
+                    if self.debug:
+                        try:
+                            self._claim(state, task)
+                        except ValueError as exc:
+                            state.failure = exc
+                            state.running -= 1
+                            cond.notify_all()
+                            return
+                kernel = self._kernels[task.klass]
+                start = time.perf_counter() - t0
+                try:
+                    kernel(task, data)
+                except BaseException as exc:
+                    with cond:
+                        state.running -= 1
+                        if state.failure is None:
+                            state.failure = exc
+                        cond.notify_all()
+                    return
+                end = time.perf_counter() - t0
+                trace.record(
+                    TraceEvent(
+                        task.klass,
+                        task.params,
+                        start,
+                        end,
+                        flops=task.flops,
+                        worker=lane,
+                    )
+                )
+                with cond:
+                    if self.debug:
+                        self._release(state, task)
+                    state.running -= 1
+                    state.completed += 1
+                    for j in graph.successors.get(i, ()):
+                        state.indegree[j] -= 1
+                        if state.indegree[j] == 0:
+                            scheduler.push(j, graph.tasks[j])
+                    cond.notify_all()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(lane,), name=f"tlr-worker-{lane}"
+            )
+            for lane in range(min(self.workers, n))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if state.failure is not None:
+            # Drain the ready pool so a reused scheduler starts clean.
+            while scheduler:
+                scheduler.pop()
+            raise state.failure
+        if state.completed != n:  # pragma: no cover - defensive
+            raise ValueError(
+                f"executed {state.completed} of {n} tasks; "
+                "graph has unsatisfiable dependencies"
+            )
+        return trace

@@ -10,6 +10,7 @@ Perfetto), the modern equivalent of PaRSEC's .prof visualization.
 from __future__ import annotations
 
 import json
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -34,15 +35,35 @@ class TraceEvent:
 
 @dataclass
 class Trace:
-    """An append-only log of task executions."""
+    """An append-only log of task executions.
+
+    ``record`` is thread-safe: the parallel execution engine's workers
+    and the serving subsystem's worker pool append concurrently to one
+    trace.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, event: TraceEvent) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def worker_lanes(self) -> dict[int, int]:
+        """Events per worker lane, keyed by worker id (sorted).
+
+        One key per lane that executed at least one task — the rows a
+        Chrome-trace render of this trace will show.
+        """
+        lanes: dict[int, int] = defaultdict(int)
+        for e in self.events:
+            lanes[e.worker] += 1
+        return dict(sorted(lanes.items()))
 
     @property
     def makespan(self) -> float:
@@ -74,6 +95,7 @@ class Trace:
         self,
         process_name: str | None = None,
         thread_names: dict[int, str] | None = None,
+        label_worker_lanes: bool = False,
     ) -> str:
         """Serialize as Chrome trace-event JSON (complete events).
 
@@ -82,8 +104,15 @@ class Trace:
         id -> label) emit metadata events so consumers other than the
         factorization engine — e.g. the serving subsystem's dispatcher
         and solver workers — appear with readable lane names in
-        ``chrome://tracing`` / Perfetto.
+        ``chrome://tracing`` / Perfetto.  ``label_worker_lanes=True``
+        derives default ``worker-N`` labels for every lane present in
+        the trace (parallel-engine runs), without having to know the
+        worker count up front.
         """
+        if label_worker_lanes:
+            derived = {w: f"worker-{w}" for w in self.worker_lanes()}
+            derived.update(thread_names or {})
+            thread_names = derived
         meta: list[dict] = []
         if process_name is not None:
             meta.append(

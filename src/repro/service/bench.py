@@ -81,6 +81,7 @@ def run_throughput_benchmark(
     repeats: int = 3,
     max_wait: float = 0.005,
     seed: int = 0,
+    factor_workers: int | None = None,
 ) -> dict:
     """Benchmark the serving path; returns a JSON-safe result dict.
 
@@ -88,7 +89,8 @@ def run_throughput_benchmark(
     one-at-a-time (``max_batch=1``, wait for each result); ``batched``
     submits them concurrently and lets the batcher coalesce.  Both run
     against the same warm cache, so the comparison isolates batching.
-    Cold/warm latency is measured separately around the first build.
+    Cold/warm latency is measured separately around the first build;
+    ``factor_workers`` threads execute that build's factorization DAG.
     """
     if requests < 1:
         raise ValueError(f"requests must be >= 1, got {requests}")
@@ -99,7 +101,7 @@ def run_throughput_benchmark(
     rng = np.random.default_rng(seed)
     rhs_list = [rng.standard_normal(spec.n) for _ in range(requests)]
 
-    cache = OperatorCache()
+    cache = OperatorCache(factor_workers=factor_workers)
 
     # --- cold request: pays matgen + compression + factorization
     with SolveService(cache=cache, workers=1) as svc:

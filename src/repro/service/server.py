@@ -137,6 +137,11 @@ class SolveService:
         it raise :class:`BacklogFullError` synchronously.
     max_batch / max_wait:
         Coalescing knobs (see :class:`RequestBatcher`).
+    factor_workers:
+        Worker threads for cache-miss factorizations: the parallel
+        DAG engine executes the build's task graph with this many
+        threads (``<= 0`` = one per core).  ``None`` leaves the
+        cache's own setting untouched.
     start:
         Start the dispatcher immediately.  Tests pass ``False`` to
         stage requests deterministically, then call :meth:`start`.
@@ -150,6 +155,7 @@ class SolveService:
         max_batch: int = 32,
         max_wait: float = 0.002,
         metrics: ServiceMetrics | None = None,
+        factor_workers: int | None = None,
         start: bool = True,
     ) -> None:
         if workers < 1:
@@ -159,6 +165,8 @@ class SolveService:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.cache = cache if cache is not None else OperatorCache()
         self.cache.metrics = self.metrics
+        if factor_workers is not None:
+            self.cache.factor_workers = factor_workers
         self.backlog = int(backlog)
         self._queue: queue.Queue = queue.Queue(maxsize=self.backlog)
         self._batcher = RequestBatcher(max_batch=max_batch, max_wait=max_wait)

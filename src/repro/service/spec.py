@@ -112,9 +112,15 @@ class OperatorSpec:
         h.update(self.points.tobytes())
         return h.hexdigest()
 
-    def build(self) -> BuiltOperator:
+    def build(self, workers: int | None = None) -> BuiltOperator:
         """Generate, compress and factorize the operator (the cost a
-        cache hit avoids)."""
+        cache hit avoids).
+
+        ``workers`` threads execute the factorization DAG (see
+        :func:`~repro.core.tlr_cholesky.tlr_cholesky`); the factor is
+        identical across worker counts, so the fingerprint stays a
+        sound cache key.
+        """
         from repro.core.hicma_parsec import hicma_parsec_factorize
         from repro.kernels.matgen import RBFMatrixGenerator
         from repro.linalg.tile_matrix import TLRMatrix
@@ -132,7 +138,7 @@ class OperatorSpec:
         )
         operator = a.copy()
         t1 = time.perf_counter()
-        factor = hicma_parsec_factorize(a).factor
+        factor = hicma_parsec_factorize(a, workers=workers).factor
         t2 = time.perf_counter()
         return BuiltOperator(
             operator=operator,

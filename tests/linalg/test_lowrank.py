@@ -128,3 +128,37 @@ class TestRecompress:
         direct = truncated_svd(a.to_dense() + b.to_dense(), tol=1e-9)
         assert rounded.rank == direct.rank
         assert np.allclose(rounded.to_dense(), direct.to_dense(), atol=1e-7)
+
+    def test_rank0_returned_untouched(self):
+        """Duck-typed rank-0 factors (LowRankFactor itself forbids
+        them) short-circuit: nothing to round."""
+
+        class EmptyFactor:
+            rank = 0
+            shape = (8, 8)
+
+        f = EmptyFactor()
+        assert recompress(f, tol=1e-8) is f
+
+    def test_high_rank_takes_dense_path(self, rng):
+        """Combined rank >= half the tile dimension routes through one
+        dense SVD; the truncation rule (and thus the result) is the
+        same as the economy QR pipeline's."""
+        m = 24
+        # rank 16 of 24: well past the half-dimension crossover
+        a = truncated_svd(low_rank_block(rng, m, m, 9), tol=1e-12)
+        b = truncated_svd(low_rank_block(rng, m, m, 7), tol=1e-12)
+        stacked = LowRankFactor(np.hstack([a.u, b.u]), np.hstack([a.v, b.v]))
+        assert stacked.rank >= m // 2
+        rounded = recompress(stacked, tol=1e-9)
+        direct = truncated_svd(stacked.to_dense(), tol=1e-9)
+        assert rounded.rank == direct.rank
+        assert np.allclose(rounded.to_dense(), direct.to_dense(), atol=1e-7)
+
+    def test_high_rank_cancellation_to_null(self, rng):
+        base = truncated_svd(low_rank_block(rng, 12, 12, 6), tol=1e-12)
+        cancel = LowRankFactor(
+            np.hstack([base.u, -base.u]), np.hstack([base.v, base.v])
+        )
+        assert cancel.rank >= 6  # dense-path regime on a 12x12 tile
+        assert recompress(cancel, tol=1e-8) is None

@@ -128,16 +128,21 @@ class TestColumnStructureCache:
 
     def test_cached_until_invalidated(self, sparse_tlr):
         a = sparse_tlr.copy()
-        first = a.lower_column_structure()
-        assert a.lower_column_structure() is first  # cached
+        first = [list(col) for col in a.lower_column_structure()]
+        columns_before = list(a.lower_column_structure())
 
-        # turn one non-null off-diagonal tile into a null: structure
-        # must be recomputed and must drop that entry
+        # turn one non-null off-diagonal tile into a null: only the
+        # written column's structure is recomputed (and drops the
+        # entry); every other column keeps its cached list
         target = next(
             (m, k) for (m, k), t in a if m != k and not t.is_null
         )
         m, k = target
         a.set_tile(m, k, NullTile(a.tile(m, k).shape))
         updated = a.lower_column_structure()
-        assert updated is not first
-        assert m not in updated[k]
+        assert m in first[k] and m not in updated[k]
+        for j, col in enumerate(updated):
+            if j == k:
+                assert col is not columns_before[j]  # rescanned
+            else:
+                assert col is columns_before[j]  # untouched cache

@@ -39,10 +39,18 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "residual" in out
-        # valid Chrome trace JSON
+        # valid Chrome trace JSON: worker-lane metadata + duration events
         data = json.loads(trace.read_text())
         assert data["traceEvents"]
-        assert {"name", "ph", "ts", "dur"} <= set(data["traceEvents"][0])
+        durations = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert durations
+        assert {"name", "ph", "ts", "dur"} <= set(durations[0])
+        lane_names = {
+            e["args"]["name"]
+            for e in data["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "worker-0" in lane_names
 
     def test_factorize_no_trim(self, capsys):
         rc = main(
