@@ -56,6 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--trace", type=str, default=None,
                    help="write a Chrome trace JSON of the execution "
                         "(one lane per worker)")
+    f.add_argument("--inject-faults", type=str, default=None, metavar="SPEC",
+                   help="deterministic fault plan, e.g. 'all:0.1' or "
+                        "'GEMM:0.2,TRSM:delay:0.05' "
+                        "(CLASS:RATE or CLASS:KIND:RATE, kinds: "
+                        "transient/delay/corrupt)")
+    f.add_argument("--max-retries", type=int, default=3,
+                   help="per-task transient-failure retries with tile "
+                        "rollback (0 = fail fast with TaskFailedError)")
+    f.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the injected fault plan")
 
     s = sub.add_parser("simulate", help="at-scale performance estimate")
     s.add_argument("--machine", choices=["shaheen", "fugaku"], default="shaheen")
@@ -163,14 +173,47 @@ def _cmd_factorize(args) -> int:
     stats = a.off_diagonal_rank_stats()
     print(f"N={gen.n}, NT={a.n_tiles}, density={a.density():.3f}, "
           f"ranks max/avg {stats['max']:.0f}/{stats['avg']:.1f}")
+    from repro.runtime.faults import (
+        FaultInjector,
+        FaultPlan,
+        RetryPolicy,
+        TaskFailedError,
+    )
     from repro.runtime.parallel import resolve_workers
 
+    injector = None
+    retry = None
+    if args.inject_faults:
+        injector = FaultInjector(
+            FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+        )
+        if args.max_retries > 0:
+            retry = RetryPolicy(
+                max_retries=args.max_retries, backoff_seconds=0.001
+            )
     nworkers = resolve_workers(args.workers)
-    result = tlr_cholesky(a, trim=not args.no_trim, workers=args.workers)
+    try:
+        result = tlr_cholesky(
+            a,
+            trim=not args.no_trim,
+            workers=args.workers,
+            fault_injector=injector,
+            retry=retry,
+        )
+    except TaskFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if injector is not None:
+            print(f"faults injected: {dict(injector.counters)}", file=sys.stderr)
+        return 1
     print(f"tasks: {len(result.graph)} {result.graph.task_counts()}")
     print(f"factorization: {result.elapsed:.3f} s "
           f"({'trimmed' if not args.no_trim else 'full DAG'}, "
           f"{nworkers} worker{'s' if nworkers != 1 else ''})")
+    if injector is not None:
+        print(f"faults injected: {injector.counters.get('total', 0)} "
+              f"{dict(injector.counters)}")
+        print(f"task retries: {result.retries} "
+              f"(max {args.max_retries} per task)")
     print(f"residual: {result.residual(gen.dense()):.2e}")
     if args.trace:
         result.trace.save_chrome_trace(

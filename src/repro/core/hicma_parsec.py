@@ -95,6 +95,17 @@ def hicma_parsec_factorize(
     a: TLRMatrix,
     scheduler: Scheduler | None = None,
     workers: int | None = None,
+    shift_policy=None,
 ) -> FactorizationResult:
-    """Numeric HiCMA-PaRSEC factorization: trimmed DAG."""
-    return tlr_cholesky(a, trim=True, scheduler=scheduler, workers=workers)
+    """Numeric HiCMA-PaRSEC factorization: trimmed DAG.
+
+    ``shift_policy`` enables escalating-diagonal-shift degradation for
+    borderline-SPD operators (see :func:`tlr_cholesky`).
+    """
+    return tlr_cholesky(
+        a,
+        trim=True,
+        scheduler=scheduler,
+        workers=workers,
+        shift_policy=shift_policy,
+    )

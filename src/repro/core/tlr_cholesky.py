@@ -11,16 +11,24 @@ tiles hold dense ``L[k,k]``; off-diagonal tiles hold compressed
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.analysis import TrimmingAnalysis, analyze_ranks
 from repro.core.trimming import cholesky_tasks
-from repro.linalg.kernels_tlr import gemm_tile, potrf_tile, syrk_tile, trsm_tile
+from repro.linalg.kernels_dense import DiagonalShiftPolicy
+from repro.linalg.kernels_tlr import (
+    gemm_tile,
+    potrf_tile,
+    potrf_tile_shifted,
+    syrk_tile,
+    trsm_tile,
+)
 from repro.linalg.tile_matrix import TLRMatrix
 from repro.runtime.dag import TaskGraph, build_graph
 from repro.runtime.engine import ExecutionEngine
+from repro.runtime.faults import FaultInjector, RetryPolicy
 from repro.runtime.parallel import engine_for
 from repro.runtime.scheduler import PriorityScheduler, Scheduler
 from repro.runtime.task import Task
@@ -45,6 +53,11 @@ class FactorizationResult:
     setup_seconds: float
     #: wall-clock seconds for task execution
     execute_seconds: float
+    #: diagonal shifts applied by the degradation policy, keyed by
+    #: diagonal tile index k (empty when no POTRF needed regularizing)
+    diagonal_shifts: dict[int, float] = field(default_factory=dict)
+    #: transient-failure retries performed by the execution engine
+    retries: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -58,18 +71,33 @@ class FactorizationResult:
         )
 
 
-def register_cholesky_kernels(engine: ExecutionEngine) -> None:
+def register_cholesky_kernels(
+    engine: ExecutionEngine,
+    shift_policy: DiagonalShiftPolicy | None = None,
+    shift_report: dict[int, float] | None = None,
+) -> None:
     """Bind POTRF/TRSM/SYRK/GEMM to their TLR tile kernels.
 
     The data store is the :class:`TLRMatrix` itself; kernels read and
     replace tiles through its accessors, so null-tile no-ops (in
     untrimmed runs) still pass through the runtime — that per-task
     overhead is exactly what DAG trimming removes.
+
+    With a ``shift_policy``, a non-SPD diagonal tile is regularized by
+    escalating diagonal shifts instead of aborting; nonzero shifts are
+    recorded into ``shift_report`` keyed by diagonal tile index (each
+    POTRF task writes a distinct key, so the dict needs no lock).
     """
 
     def k_potrf(task: Task, a: TLRMatrix) -> None:
         (k,) = task.params
-        a.set_tile(k, k, potrf_tile(a.tile(k, k)))
+        if shift_policy is None:
+            a.set_tile(k, k, potrf_tile(a.tile(k, k)))
+            return
+        l_kk, shift = potrf_tile_shifted(a.tile(k, k), shift_policy)
+        a.set_tile(k, k, l_kk)
+        if shift and shift_report is not None:
+            shift_report[k] = shift
 
     def k_trsm(task: Task, a: TLRMatrix) -> None:
         m, k = task.params
@@ -104,6 +132,9 @@ def tlr_cholesky(
     trim: bool = True,
     scheduler: Scheduler | None = None,
     workers: int | None = None,
+    fault_injector: FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    shift_policy: DiagonalShiftPolicy | None = None,
 ) -> FactorizationResult:
     """Factorize a TLR matrix in place: ``A = L L^T``.
 
@@ -123,13 +154,30 @@ def tlr_cholesky(
         tile access, so the computed factor is identical across worker
         counts.
 
+    fault_injector:
+        Optional deterministic fault injection wrapping every kernel
+        dispatch (see :mod:`repro.runtime.faults`).
+    retry:
+        Per-task transient-failure retry with tile rollback and capped
+        exponential backoff; a retried run produces a factor bitwise
+        identical to a fault-free run.  Without a policy, an injected
+        transient fault raises
+        :class:`~repro.runtime.faults.TaskFailedError`.
+    shift_policy:
+        Numerical degradation for borderline-SPD operators: a non-SPD
+        POTRF retries with escalating diagonal shifts, reported in
+        ``result.diagonal_shifts``.  ``None`` (default) keeps the
+        strict fail-on-indefinite behavior below.
+
     Raises
     ------
     numpy.linalg.LinAlgError
         If a diagonal tile loses positive definiteness — typically the
         compression accuracy is too loose for the operator's
-        conditioning (tighten ``accuracy`` or increase the generator's
-        ``nugget``).
+        conditioning (tighten ``accuracy``, increase the generator's
+        ``nugget``, or pass a ``shift_policy``).
+    repro.runtime.faults.TaskFailedError
+        If a task exhausts its transient-failure retry budget.
     """
     t0 = time.perf_counter()
     nt = a.n_tiles
@@ -147,9 +195,15 @@ def tlr_cholesky(
     setup = time.perf_counter() - t0
 
     engine = engine_for(
-        workers, scheduler if scheduler is not None else PriorityScheduler()
+        workers,
+        scheduler if scheduler is not None else PriorityScheduler(),
+        fault_injector=fault_injector,
+        retry=retry,
     )
-    register_cholesky_kernels(engine)
+    shifts: dict[int, float] = {}
+    register_cholesky_kernels(
+        engine, shift_policy=shift_policy, shift_report=shifts
+    )
     t1 = time.perf_counter()
     trace = engine.run(graph, a)
     execute = time.perf_counter() - t1
@@ -161,4 +215,6 @@ def tlr_cholesky(
         analysis=analysis,
         setup_seconds=setup,
         execute_seconds=execute,
+        diagonal_shifts=shifts,
+        retries=engine.last_run_retries,
     )

@@ -15,10 +15,48 @@ Conventions (lower-triangular Cholesky, right-looking):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.linalg as sla
 
-__all__ = ["potrf", "trsm", "syrk", "gemm"]
+__all__ = [
+    "potrf",
+    "potrf_with_shift",
+    "DiagonalShiftPolicy",
+    "trsm",
+    "syrk",
+    "gemm",
+]
+
+
+@dataclass(frozen=True)
+class DiagonalShiftPolicy:
+    """Escalating diagonal regularization for borderline-SPD blocks.
+
+    When POTRF fails, retry on ``A + shift * I`` with
+    ``shift = initial_relative * mean(|diag(A)|)``, multiplying by
+    ``growth`` up to ``max_attempts`` times.  This is the graceful-
+    degradation move of adaptive TLR frameworks: a slightly indefinite
+    diagonal block (compression error ate the positive definiteness)
+    is regularized and reported instead of aborting the whole
+    factorization.
+    """
+
+    max_attempts: int = 3
+    initial_relative: float = 1.0e-12
+    growth: float = 1.0e3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.initial_relative <= 0.0 or self.growth <= 1.0:
+            raise ValueError(
+                "initial_relative must be positive and growth > 1, got "
+                f"{self.initial_relative} / {self.growth}"
+            )
 
 
 def potrf(a: np.ndarray) -> np.ndarray:
@@ -34,6 +72,33 @@ def potrf(a: np.ndarray) -> np.ndarray:
         return sla.cholesky(a, lower=True, check_finite=False)
     except sla.LinAlgError as exc:  # normalize exception type for callers
         raise np.linalg.LinAlgError(str(exc)) from exc
+
+
+def potrf_with_shift(
+    a: np.ndarray, policy: DiagonalShiftPolicy
+) -> tuple[np.ndarray, float]:
+    """POTRF with escalating diagonal shift on loss of definiteness.
+
+    Returns ``(L, shift)`` where ``shift`` is 0.0 when the unshifted
+    factorization succeeded.  Raises ``LinAlgError`` only after every
+    shift attempt in the policy is exhausted.
+    """
+    try:
+        return potrf(a), 0.0
+    except np.linalg.LinAlgError:
+        pass
+    diag_scale = float(np.mean(np.abs(np.diag(a)))) or 1.0
+    shift = policy.initial_relative * diag_scale
+    eye = np.eye(a.shape[0], dtype=a.dtype)
+    for _ in range(policy.max_attempts):
+        try:
+            return potrf(a + shift * eye), shift
+        except np.linalg.LinAlgError:
+            shift *= policy.growth
+    raise np.linalg.LinAlgError(
+        f"POTRF not positive definite after {policy.max_attempts} "
+        f"diagonal shifts (last shift {shift / policy.growth:.3e})"
+    )
 
 
 def trsm(l_kk: np.ndarray, a_mk: np.ndarray) -> np.ndarray:

@@ -18,10 +18,17 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg as sla
 
+from repro.linalg.kernels_dense import DiagonalShiftPolicy, potrf_with_shift
 from repro.linalg.lowrank import LowRankFactor, compress_block, recompress
 from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
 
-__all__ = ["potrf_tile", "trsm_tile", "syrk_tile", "gemm_tile"]
+__all__ = [
+    "potrf_tile",
+    "potrf_tile_shifted",
+    "trsm_tile",
+    "syrk_tile",
+    "gemm_tile",
+]
 
 
 def potrf_tile(a_kk: Tile) -> DenseTile:
@@ -35,6 +42,22 @@ def potrf_tile(a_kk: Tile) -> DenseTile:
     except sla.LinAlgError as exc:
         raise np.linalg.LinAlgError(str(exc)) from exc
     return DenseTile(l_kk)
+
+
+def potrf_tile_shifted(
+    a_kk: Tile, policy: DiagonalShiftPolicy
+) -> tuple[DenseTile, float]:
+    """POTRF of a diagonal tile with escalating-shift degradation.
+
+    Returns ``(L_kk, shift)``; ``shift`` is 0.0 on the normal path.
+    See :func:`repro.linalg.kernels_dense.potrf_with_shift`.
+    """
+    if not isinstance(a_kk, DenseTile):
+        raise TypeError(
+            f"diagonal tiles must be dense for POTRF, got {a_kk.kind.value}"
+        )
+    l_kk, shift = potrf_with_shift(a_kk.data, policy)
+    return DenseTile(l_kk), shift
 
 
 def trsm_tile(l_kk: DenseTile, a_mk: Tile) -> Tile:
@@ -117,9 +140,7 @@ def gemm_tile(
         dense = c_mn.to_dense() - product if not isinstance(c_mn, NullTile) else -product
         if isinstance(c_mn, DenseTile):
             return DenseTile(dense)
-        from repro.linalg.tile import as_tile
-
-        return as_tile(compress_block(dense, tol, max_rank=max_rank), shape)
+        return _compress_or_dense(dense, tol, max_rank, shape)
 
     if isinstance(c_mn, DenseTile):
         return DenseTile(c_mn.data - product.u @ product.v.T)
@@ -134,15 +155,29 @@ def gemm_tile(
 
     if stacked.rank >= min(shape):
         # Accumulated rank is no longer "low"; go through the dense path.
-        from repro.linalg.tile import as_tile
+        return _compress_or_dense(stacked.to_dense(), tol, max_rank, shape)
 
-        return as_tile(
-            compress_block(stacked.to_dense(), tol, max_rank=max_rank), shape
-        )
-
-    rounded = recompress(stacked, tol)
+    try:
+        rounded = recompress(stacked, tol)
+    except np.linalg.LinAlgError:
+        # Degradation ladder: if rank rounding misbehaves (e.g. SVD
+        # non-convergence), hold the tile dense rather than aborting
+        # the factorization — exact arithmetic, just more bytes.
+        return DenseTile(stacked.to_dense())
     if rounded is None:
         return NullTile(shape)
     if max_rank is not None and rounded.rank > max_rank:
         return DenseTile(rounded.to_dense())
     return LowRankTile(rounded)
+
+
+def _compress_or_dense(
+    dense: np.ndarray, tol: float, max_rank: int | None, shape: tuple[int, int]
+) -> Tile:
+    """Compress a materialized block, degrading to dense on failure."""
+    from repro.linalg.tile import as_tile
+
+    try:
+        return as_tile(compress_block(dense, tol, max_rank=max_rank), shape)
+    except np.linalg.LinAlgError:
+        return DenseTile(np.ascontiguousarray(dense))

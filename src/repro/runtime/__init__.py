@@ -9,6 +9,14 @@ modeled by the discrete-event simulator in :mod:`repro.machine`.
 
 from repro.runtime.task import AccessMode, DataAccess, Task
 from repro.runtime.dag import TaskGraph, build_graph
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    TaskFailedError,
+    TransientKernelError,
+)
 from repro.runtime.scheduler import (
     FIFOScheduler,
     LIFOScheduler,
@@ -39,6 +47,12 @@ __all__ = [
     "ParallelExecutionEngine",
     "engine_for",
     "resolve_workers",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "TaskFailedError",
+    "TransientKernelError",
     "TaskPool",
     "DistributedExecutor",
     "DistributedRunResult",

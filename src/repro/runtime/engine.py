@@ -17,6 +17,13 @@ import time
 from collections.abc import Callable
 
 from repro.runtime.dag import TaskGraph
+from repro.runtime.faults import (
+    FaultInjector,
+    RetryPolicy,
+    TaskFailedError,
+    restore_writes,
+    snapshot_writes,
+)
 from repro.runtime.scheduler import Scheduler, PriorityScheduler
 from repro.runtime.task import Task
 from repro.runtime.tracing import Trace, TraceEvent
@@ -26,12 +33,40 @@ __all__ = ["ExecutionEngine"]
 #: A kernel takes (task, data_store) and mutates the store.
 Kernel = Callable[[Task, object], None]
 
+#: Retry disabled: a transient failure immediately becomes TaskFailedError.
+_NO_RETRY = RetryPolicy(max_retries=0)
+
 
 class ExecutionEngine:
-    """Schedules and executes a task graph with registered kernels."""
+    """Schedules and executes a task graph with registered kernels.
 
-    def __init__(self, scheduler: Scheduler | None = None) -> None:
+    Parameters
+    ----------
+    scheduler:
+        Ready-queue ordering policy (default: priority).
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` wrapping
+        every kernel dispatch (testing / chaos engineering).
+    retry:
+        Optional :class:`~repro.runtime.faults.RetryPolicy`.  When
+        set, a transient kernel failure rolls the task's output tiles
+        back to their pre-attempt state and re-runs with backoff, so a
+        retried run is bitwise identical to a fault-free one.
+        Exhausted retries (and, with no policy, any transient failure)
+        raise :class:`~repro.runtime.faults.TaskFailedError`.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        fault_injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.scheduler = scheduler if scheduler is not None else PriorityScheduler()
+        self.fault_injector = fault_injector
+        self.retry = retry
+        #: retried attempts accumulated over the most recent run
+        self.last_run_retries = 0
         self._kernels: dict[str, Kernel] = {}
 
     def register(self, klass: str, kernel: Kernel) -> None:
@@ -39,6 +74,37 @@ class ExecutionEngine:
         if klass in self._kernels:
             raise ValueError(f"kernel for task class {klass!r} already registered")
         self._kernels[klass] = kernel
+
+    def _dispatch(self, task: Task, kernel: Kernel, data: object) -> int:
+        """Run one task through fault injection and retry/rollback.
+
+        Returns the number of retries performed.  Exceptions outside
+        the retry policy's transient set propagate unchanged
+        (fail-fast); transient ones that exhaust the budget are
+        wrapped in :class:`TaskFailedError`.
+        """
+        injector = self.fault_injector
+        if injector is None and self.retry is None:
+            kernel(task, data)
+            return 0
+        retry = self.retry if self.retry is not None else _NO_RETRY
+        attempt = 0
+        while True:
+            snapshot = snapshot_writes(task, data)
+            try:
+                if injector is not None:
+                    injector.invoke(kernel, task, data, attempt)
+                else:
+                    kernel(task, data)
+                return attempt
+            except retry.retry_on as exc:
+                restore_writes(task, data, snapshot)
+                if attempt >= retry.max_retries:
+                    raise TaskFailedError(task, attempt + 1, exc) from exc
+                pause = retry.delay(attempt)
+                if pause > 0.0:
+                    time.sleep(pause)
+                attempt += 1
 
     def run(self, graph: TaskGraph, data: object, trace: Trace | None = None) -> Trace:
         """Execute every task in dependency order.
@@ -50,6 +116,7 @@ class ExecutionEngine:
         """
         if trace is None:
             trace = Trace()
+        self.last_run_retries = 0
         n = len(graph)
         indegree = [graph.in_degree(i) for i in range(n)]
         for i in range(n):
@@ -65,7 +132,7 @@ class ExecutionEngine:
             if kernel is None:
                 raise KeyError(f"no kernel registered for task class {task.klass!r}")
             start = time.perf_counter() - t0
-            kernel(task, data)
+            self.last_run_retries += self._dispatch(task, kernel, data)
             end = time.perf_counter() - t0
             trace.record(
                 TraceEvent(task.klass, task.params, start, end, flops=task.flops)

@@ -37,11 +37,17 @@ import time
 
 from repro.runtime.dag import TaskGraph
 from repro.runtime.engine import ExecutionEngine
+from repro.runtime.faults import FaultInjector, RetryPolicy
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.task import Task
 from repro.runtime.tracing import Trace, TraceEvent
 
-__all__ = ["ParallelExecutionEngine", "resolve_workers", "engine_for"]
+__all__ = [
+    "ParallelExecutionEngine",
+    "resolve_workers",
+    "engine_for",
+    "stall_timeout_from_env",
+]
 
 #: Environment variable supplying the default worker count (used by the
 #: CI smoke job to sweep the whole core suite through the parallel
@@ -50,6 +56,10 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 #: Environment variable switching on the per-tile ownership assertion.
 DEBUG_ENV = "REPRO_ENGINE_DEBUG"
+
+#: Environment variable supplying the default stall-watchdog timeout in
+#: seconds (unset / empty / 0 disables the watchdog).
+STALL_TIMEOUT_ENV = "REPRO_STALL_TIMEOUT"
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -74,19 +84,41 @@ def debug_from_env() -> bool:
     return os.environ.get(DEBUG_ENV, "").strip() not in ("", "0")
 
 
+def stall_timeout_from_env() -> float | None:
+    """The stall-watchdog timeout requested by $REPRO_STALL_TIMEOUT.
+
+    Returns ``None`` (watchdog disabled) when unset, empty, or
+    non-positive.
+    """
+    env = os.environ.get(STALL_TIMEOUT_ENV, "").strip()
+    if not env:
+        return None
+    timeout = float(env)
+    return timeout if timeout > 0.0 else None
+
+
 def engine_for(
-    workers: int | None, scheduler: Scheduler | None = None
+    workers: int | None,
+    scheduler: Scheduler | None = None,
+    fault_injector: FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ExecutionEngine:
     """The cheapest engine that honours ``workers``.
 
     One worker gets the serial :class:`ExecutionEngine` (no locks, no
-    threads); more get a :class:`ParallelExecutionEngine`.
+    threads); more get a :class:`ParallelExecutionEngine`.  Fault
+    injection and retry policy are threaded into either.
     """
     n = resolve_workers(workers)
     if n <= 1:
-        return ExecutionEngine(scheduler)
+        return ExecutionEngine(scheduler, fault_injector=fault_injector, retry=retry)
     return ParallelExecutionEngine(
-        scheduler, workers=n, debug=debug_from_env()
+        scheduler,
+        workers=n,
+        debug=debug_from_env(),
+        fault_injector=fault_injector,
+        retry=retry,
+        stall_timeout=stall_timeout_from_env(),
     )
 
 
@@ -100,6 +132,9 @@ class _RunState:
         "failure",
         "started",
         "owners",
+        "lanes",
+        "last_progress",
+        "retries",
     )
 
     def __init__(self, graph: TaskGraph) -> None:
@@ -112,6 +147,12 @@ class _RunState:
         self.started: set[int] = set()
         #: debug-mode tile ownership: key -> [writer_index | None, n_readers]
         self.owners: dict[tuple[int, int], list] = {}
+        #: per-worker lane state: lane -> str(task) in flight (None = idle)
+        self.lanes: dict[int, str | None] = {}
+        #: monotonic timestamp of the last dispatch/retire (watchdog input)
+        self.last_progress = time.monotonic()
+        #: retried attempts accumulated across all workers
+        self.retries = 0
 
 
 class ParallelExecutionEngine(ExecutionEngine):
@@ -135,6 +176,20 @@ class ParallelExecutionEngine(ExecutionEngine):
         already-held lock).  A violation aborts the run with
         ``ValueError`` — it means the graph builder under-constrained
         the DAG, and the factorization cannot be trusted.
+    fault_injector / retry:
+        Fault injection and transient-failure retry/rollback (see
+        :class:`ExecutionEngine`).  Retry backoff sleeps happen in the
+        worker thread, outside the pool lock.
+    stall_timeout:
+        Watchdog timeout in seconds (default: ``$REPRO_STALL_TIMEOUT``
+        via :func:`engine_for`, else disabled).  If no task is
+        dispatched or retired for this long while tasks remain, the
+        run is aborted with a diagnostic ``ValueError`` reporting
+        per-worker lane state — catching hung kernels that the logical
+        starvation check (which needs every worker idle) cannot see.
+        In-flight kernels cannot be interrupted; the error surfaces
+        once they return.  Choose a timeout well above the slowest
+        expected kernel (and above any retry backoff).
     """
 
     def __init__(
@@ -142,12 +197,20 @@ class ParallelExecutionEngine(ExecutionEngine):
         scheduler: Scheduler | None = None,
         workers: int = 2,
         debug: bool = False,
+        fault_injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        stall_timeout: float | None = None,
     ) -> None:
-        super().__init__(scheduler)
+        super().__init__(scheduler, fault_injector=fault_injector, retry=retry)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if stall_timeout is not None and stall_timeout <= 0.0:
+            raise ValueError(
+                f"stall_timeout must be positive or None, got {stall_timeout}"
+            )
         self.workers = int(workers)
         self.debug = bool(debug)
+        self.stall_timeout = stall_timeout
 
     # ------------------------------------------------------------------
     # debug-mode tile ownership
@@ -185,6 +248,35 @@ class ParallelExecutionEngine(ExecutionEngine):
                 slot[1] -= 1
 
     # ------------------------------------------------------------------
+    # stall diagnostics
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _lane_report(state: _RunState) -> str:
+        """Per-worker lane state for stall diagnostics."""
+        if not state.lanes:
+            return "no lanes dispatched yet"
+        return "; ".join(
+            f"lane {lane}: {'running ' + task if task else 'idle'}"
+            for lane, task in sorted(state.lanes.items())
+        )
+
+    def _starvation_failure(
+        self, state: _RunState, graph: TaskGraph, n: int
+    ) -> ValueError:
+        stuck = [
+            str(graph.tasks[j]) for j in range(n) if j not in state.started
+        ]
+        shown = ", ".join(stuck[:8])
+        if len(stuck) > 8:
+            shown += f", ... ({len(stuck) - 8} more)"
+        return ValueError(
+            f"execution stalled with {len(stuck)} of {n} "
+            f"tasks blocked (cycle or unsatisfiable "
+            f"dependencies): {shown} [{self._lane_report(state)}]"
+        )
+
+    # ------------------------------------------------------------------
     # run
     # ------------------------------------------------------------------
 
@@ -198,6 +290,7 @@ class ParallelExecutionEngine(ExecutionEngine):
         """
         if trace is None:
             trace = Trace()
+        self.last_run_retries = 0
         n = len(graph)
         if n == 0:
             return trace
@@ -232,38 +325,32 @@ class ParallelExecutionEngine(ExecutionEngine):
                         if state.running == 0:
                             # Nothing ready, nothing in flight, tasks
                             # remain: the graph can never finish.
-                            stuck = [
-                                str(graph.tasks[j])
-                                for j in range(n)
-                                if j not in state.started
-                            ]
-                            shown = ", ".join(stuck[:8])
-                            if len(stuck) > 8:
-                                shown += f", ... ({len(stuck) - 8} more)"
-                            state.failure = ValueError(
-                                f"execution stalled with {len(stuck)} of {n} "
-                                f"tasks blocked (cycle or unsatisfiable "
-                                f"dependencies): {shown}"
+                            state.failure = self._starvation_failure(
+                                state, graph, n
                             )
                             cond.notify_all()
                             return
                         cond.wait()
                     task = graph.tasks[i]
+                    state.lanes[lane] = str(task)
+                    state.last_progress = time.monotonic()
                     if self.debug:
                         try:
                             self._claim(state, task)
                         except ValueError as exc:
                             state.failure = exc
                             state.running -= 1
+                            state.lanes[lane] = None
                             cond.notify_all()
                             return
                 kernel = self._kernels[task.klass]
                 start = time.perf_counter() - t0
                 try:
-                    kernel(task, data)
+                    attempts = self._dispatch(task, kernel, data)
                 except BaseException as exc:
                     with cond:
                         state.running -= 1
+                        state.lanes[lane] = None
                         if state.failure is None:
                             state.failure = exc
                         cond.notify_all()
@@ -284,11 +371,34 @@ class ParallelExecutionEngine(ExecutionEngine):
                         self._release(state, task)
                     state.running -= 1
                     state.completed += 1
+                    state.retries += attempts
+                    state.lanes[lane] = None
+                    state.last_progress = time.monotonic()
                     for j in graph.successors.get(i, ()):
                         state.indegree[j] -= 1
                         if state.indegree[j] == 0:
                             scheduler.push(j, graph.tasks[j])
                     cond.notify_all()
+
+        stop_watchdog = threading.Event()
+
+        def watchdog(timeout: float) -> None:
+            poll = max(min(timeout / 5.0, 0.25), 0.005)
+            while not stop_watchdog.wait(poll):
+                with cond:
+                    if state.failure is not None or state.completed == n:
+                        return
+                    idle = time.monotonic() - state.last_progress
+                    if idle >= timeout:
+                        state.failure = ValueError(
+                            f"execution stalled: no task dispatched or "
+                            f"retired in {idle:.3g}s "
+                            f"(stall_timeout={timeout:.3g}s) with "
+                            f"{n - state.completed} of {n} tasks "
+                            f"outstanding [{self._lane_report(state)}]"
+                        )
+                        cond.notify_all()
+                        return
 
         threads = [
             threading.Thread(
@@ -296,10 +406,23 @@ class ParallelExecutionEngine(ExecutionEngine):
             )
             for lane in range(min(self.workers, n))
         ]
+        monitor = None
+        if self.stall_timeout is not None:
+            monitor = threading.Thread(
+                target=watchdog,
+                args=(float(self.stall_timeout),),
+                name="tlr-stall-watchdog",
+                daemon=True,
+            )
+            monitor.start()
         for t in threads:
             t.start()
         for t in threads:
             t.join()
+        if monitor is not None:
+            stop_watchdog.set()
+            monitor.join()
+        self.last_run_retries = state.retries
 
         if state.failure is not None:
             # Drain the ready pool so a reused scheduler starts clean.

@@ -12,16 +12,22 @@ a per-call expense.  The subsystem provides
 - :class:`RequestBatcher` — dynamic coalescing of concurrent
   single-RHS solves into blocked multi-RHS solves;
 - :class:`SolveService` — bounded-backlog queue + dispatcher + worker
-  pool with per-request deadlines and typed overload rejection;
+  pool with per-request deadlines, typed overload rejection,
+  build retry-with-backoff and input validation at the edge;
+- :class:`CircuitBreaker` — per-operator shedding of repeatedly
+  failing factorizations, with half-open recovery probes;
 - :class:`ServiceMetrics` — latency percentiles, hit rates, batch
   shapes, Chrome-trace export via :mod:`repro.runtime.tracing`.
 """
 
 from repro.service.batching import RequestBatcher
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import CacheEntry, OperatorCache
 from repro.service.errors import (
     BacklogFullError,
+    CircuitOpenError,
     DeadlineExpiredError,
+    FactorizationFailedError,
     RequestFailedError,
     ServiceClosedError,
     ServiceError,
@@ -42,9 +48,12 @@ __all__ = [
     "RequestHandle",
     "ServiceMetrics",
     "percentile",
+    "CircuitBreaker",
     "ServiceError",
     "BacklogFullError",
     "DeadlineExpiredError",
     "ServiceClosedError",
     "RequestFailedError",
+    "FactorizationFailedError",
+    "CircuitOpenError",
 ]

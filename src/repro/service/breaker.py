@@ -1,0 +1,156 @@
+"""Per-operator circuit breaker for the solve-serving subsystem.
+
+A misbehaving operator — one whose factorization keeps failing — must
+not consume a build attempt (matgen + compression + factorization) on
+every request it receives.  The breaker tracks *consecutive* failures
+per operator fingerprint and moves through the classic three states:
+
+``closed``
+    Normal operation.  Each failure increments the consecutive count;
+    reaching ``failure_threshold`` opens the breaker.  Any success
+    resets the count.
+``open``
+    Calls fail fast with :class:`CircuitOpenError` — no build is
+    attempted.  After ``reset_timeout`` seconds the breaker half-opens.
+``half-open``
+    Exactly one probe call is admitted; concurrent calls still fail
+    fast.  A successful probe closes the breaker; a failed probe
+    re-opens it for another full ``reset_timeout``.
+
+The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.service.errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker"]
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half-open"
+
+
+class _KeyState:
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.state = _CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Thread-safe per-key (operator fingerprint) circuit breaker.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that open a key's breaker.
+    reset_timeout:
+        Seconds an open breaker waits before admitting a half-open
+        probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0.0:
+            raise ValueError(
+                f"reset_timeout must be positive, got {reset_timeout}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._keys: dict[str, _KeyState] = {}
+
+    def _key(self, key: str) -> _KeyState:
+        return self._keys.setdefault(key, _KeyState())
+
+    def state(self, key: str) -> str:
+        """The key's current state (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            ks = self._keys.get(key)
+            if ks is None:
+                return _CLOSED
+            if ks.state == _OPEN and (
+                self._clock() - ks.opened_at >= self.reset_timeout
+            ):
+                return _HALF_OPEN
+            return ks.state
+
+    def allow(self, key: str) -> None:
+        """Admit a call for ``key`` or raise :class:`CircuitOpenError`.
+
+        An admitted call *must* be followed by :meth:`record_success`
+        or :meth:`record_failure` — in the half-open state the probe
+        slot is claimed here and released by the outcome report.
+        """
+        with self._lock:
+            ks = self._key(key)
+            if ks.state == _CLOSED:
+                return
+            now = self._clock()
+            if ks.state == _OPEN:
+                if now - ks.opened_at < self.reset_timeout:
+                    raise CircuitOpenError(
+                        f"circuit open for operator {key[:12]}: "
+                        f"{ks.failures} consecutive failures; retry in "
+                        f"{self.reset_timeout - (now - ks.opened_at):.1f}s"
+                    )
+                ks.state = _HALF_OPEN
+                ks.probing = False
+            # half-open: admit exactly one probe
+            if ks.probing:
+                raise CircuitOpenError(
+                    f"circuit half-open for operator {key[:12]}: "
+                    "a probe is already in flight"
+                )
+            ks.probing = True
+
+    def record_success(self, key: str) -> None:
+        """Report a successful call: closes the breaker, resets counts."""
+        with self._lock:
+            ks = self._key(key)
+            ks.state = _CLOSED
+            ks.failures = 0
+            ks.probing = False
+
+    def record_failure(self, key: str) -> bool:
+        """Report a failed call; returns True if the breaker just opened."""
+        with self._lock:
+            ks = self._key(key)
+            if ks.state == _HALF_OPEN:
+                # failed probe: straight back to open for a full timeout
+                ks.state = _OPEN
+                ks.opened_at = self._clock()
+                ks.probing = False
+                ks.failures += 1
+                return True
+            ks.failures += 1
+            if ks.state == _CLOSED and ks.failures >= self.failure_threshold:
+                ks.state = _OPEN
+                ks.opened_at = self._clock()
+                return True
+            return False
+
+    def states(self) -> dict[str, str]:
+        """Snapshot of every tracked key's state (for metrics export)."""
+        with self._lock:
+            keys = list(self._keys)
+        return {k: self.state(k) for k in keys}

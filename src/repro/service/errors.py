@@ -13,6 +13,8 @@ __all__ = [
     "DeadlineExpiredError",
     "ServiceClosedError",
     "RequestFailedError",
+    "FactorizationFailedError",
+    "CircuitOpenError",
 ]
 
 
@@ -42,4 +44,33 @@ class ServiceClosedError(ServiceError):
 
 
 class RequestFailedError(ServiceError):
-    """The request itself was malformed (bad shape, unknown kind...)."""
+    """The request itself was malformed (bad shape, non-finite values,
+    unconvertible dtype, unknown kind...).  Raised synchronously by
+    ``submit_*`` before the request is enqueued."""
+
+
+class FactorizationFailedError(ServiceError):
+    """Building the operator's factor failed after every retry.
+
+    Carries the operator fingerprint, the attempt count and the
+    underlying cause so clients can distinguish a bad operator from a
+    bad request.
+    """
+
+    def __init__(self, fingerprint: str, attempts: int, cause: BaseException) -> None:
+        self.fingerprint = fingerprint
+        self.attempts = int(attempts)
+        self.cause = cause
+        super().__init__(
+            f"factorization of operator {fingerprint[:12]} failed after "
+            f"{attempts} attempt(s): {cause}"
+        )
+
+
+class CircuitOpenError(ServiceError):
+    """The operator's circuit breaker is open: the request fails fast.
+
+    A misbehaving operator (repeated factorization failures) is shed
+    at the edge instead of burning a worker on every request; the
+    breaker half-opens after its reset timeout to probe for recovery.
+    """

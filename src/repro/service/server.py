@@ -34,10 +34,13 @@ import numpy as np
 
 from repro.config import DTYPE
 from repro.service.batching import RequestBatcher
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import CacheEntry, OperatorCache
 from repro.service.errors import (
     BacklogFullError,
+    CircuitOpenError,
     DeadlineExpiredError,
+    FactorizationFailedError,
     RequestFailedError,
     ServiceClosedError,
 )
@@ -142,6 +145,18 @@ class SolveService:
         DAG engine executes the build's task graph with this many
         threads (``<= 0`` = one per core).  ``None`` leaves the
         cache's own setting untouched.
+    build_retries:
+        Re-attempts of a failed cache-miss factorization (with capped
+        exponential backoff starting at ``build_backoff`` seconds).
+        Exhausted retries complete the request with
+        :class:`FactorizationFailedError`.
+    breaker:
+        Per-operator circuit breaker (default: a fresh
+        :class:`~repro.service.breaker.CircuitBreaker` built from
+        ``breaker_threshold`` / ``breaker_reset``).  An operator whose
+        builds keep failing is shed at the edge with
+        :class:`CircuitOpenError` instead of re-building every time;
+        a half-open probe re-admits it once it recovers.
     start:
         Start the dispatcher immediately.  Tests pass ``False`` to
         stage requests deterministically, then call :meth:`start`.
@@ -156,17 +171,33 @@ class SolveService:
         max_wait: float = 0.002,
         metrics: ServiceMetrics | None = None,
         factor_workers: int | None = None,
+        build_retries: int = 1,
+        build_backoff: float = 0.05,
+        breaker: CircuitBreaker | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 30.0,
         start: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if backlog < 1:
             raise ValueError(f"backlog must be >= 1, got {backlog}")
+        if build_retries < 0:
+            raise ValueError(f"build_retries must be >= 0, got {build_retries}")
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.cache = cache if cache is not None else OperatorCache()
         self.cache.metrics = self.metrics
         if factor_workers is not None:
             self.cache.factor_workers = factor_workers
+        self.build_retries = int(build_retries)
+        self.build_backoff = float(build_backoff)
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(
+                failure_threshold=breaker_threshold, reset_timeout=breaker_reset
+            )
+        )
         self.backlog = int(backlog)
         self._queue: queue.Queue = queue.Queue(maxsize=self.backlog)
         self._batcher = RequestBatcher(max_batch=max_batch, max_wait=max_wait)
@@ -200,14 +231,13 @@ class SolveService:
         A 1-D ``rhs`` returns a 1-D solution and may be coalesced with
         concurrent requests on the same operator; a 2-D ``rhs`` is
         already a blocked solve and runs as submitted.
+
+        The RHS is validated *before* enqueue: unconvertible dtypes,
+        wrong shapes and non-finite entries (NaN/Inf would poison a
+        batched solve for every coalesced neighbor) are rejected
+        synchronously with :class:`RequestFailedError`.
         """
-        rhs = np.asarray(rhs, dtype=DTYPE)
-        if rhs.ndim not in (1, 2):
-            raise RequestFailedError(f"rhs must be 1-D or 2-D, got {rhs.shape}")
-        if rhs.shape[0] != spec.n:
-            raise RequestFailedError(
-                f"rhs has {rhs.shape[0]} rows, operator order is {spec.n}"
-            )
+        rhs = self._validate_rhs(spec, rhs)
         return self._submit(
             Request(
                 kind="solve",
@@ -245,7 +275,13 @@ class SolveService:
         of the boundary nodes; the result is the ``(n, 3)`` interpolation
         weight matrix (one blocked 3-RHS solve).
         """
-        d_b = np.asarray(boundary_displacements, dtype=DTYPE)
+        try:
+            d_b = np.asarray(boundary_displacements, dtype=DTYPE)
+        except (TypeError, ValueError) as exc:
+            raise RequestFailedError(
+                f"displacements are not convertible to "
+                f"{np.dtype(DTYPE).name}: {exc}"
+            ) from None
         if d_b.ndim != 2 or d_b.shape[1] != 3:
             raise RequestFailedError(
                 f"displacements must have shape (n, 3), got {d_b.shape}"
@@ -290,6 +326,30 @@ class SolveService:
     # ------------------------------------------------------------------
     # submission internals
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_rhs(spec: OperatorSpec, rhs) -> np.ndarray:
+        """Reject malformed right-hand sides before they are enqueued."""
+        try:
+            rhs = np.asarray(rhs, dtype=DTYPE)
+        except (TypeError, ValueError) as exc:
+            raise RequestFailedError(
+                f"rhs is not convertible to {np.dtype(DTYPE).name}: {exc}"
+            ) from None
+        if rhs.ndim not in (1, 2):
+            raise RequestFailedError(f"rhs must be 1-D or 2-D, got {rhs.shape}")
+        if rhs.shape[0] != spec.n:
+            raise RequestFailedError(
+                f"rhs has {rhs.shape[0]} rows, operator order is {spec.n}"
+            )
+        if rhs.size == 0:
+            raise RequestFailedError(f"rhs is empty (shape {rhs.shape})")
+        if not np.isfinite(rhs).all():
+            bad = int(rhs.size - np.count_nonzero(np.isfinite(rhs)))
+            raise RequestFailedError(
+                f"rhs contains {bad} non-finite value(s) (NaN/Inf)"
+            )
+        return rhs
 
     def _deadline(self, timeout: float | None) -> float | None:
         if timeout is None:
@@ -412,22 +472,66 @@ class SolveService:
             return
         worker = self._worker_id()
         try:
-            t0 = self._now()
-            entry, outcome = self.cache.acquire(live[0].spec)
-            t1 = self._now()
-            if outcome != "hit":
-                self.metrics.record_event(
-                    "BUILD" if outcome == "build" else "DISK_LOAD",
-                    (live[0].spec.n,),
-                    t0,
-                    t1,
-                    worker=worker,
-                )
+            entry = self._acquire_entry(live[0].spec, worker)
             self._run_kind(live, entry, worker)
         except Exception as exc:  # typed service errors included
             for req in live:
                 req.handle.set_exception(exc)
             self.metrics.count("failed", len(live))
+
+    def _acquire_entry(self, spec: OperatorSpec, worker: int) -> CacheEntry:
+        """Cache lookup guarded by the operator's circuit breaker, with
+        retry-with-backoff around cache-miss factorizations."""
+        fp = spec.fingerprint
+        try:
+            self.breaker.allow(fp)
+        except CircuitOpenError:
+            self.metrics.count("breaker_fast_fail")
+            raise
+        try:
+            entry = self._acquire_with_retry(spec, worker)
+        except Exception:
+            if self.breaker.record_failure(fp):
+                self.metrics.count("breaker_opened")
+                self.metrics.record_event(
+                    "BREAKER_OPEN", (spec.n,), self._now(), self._now(),
+                    worker=worker,
+                )
+            raise
+        self.breaker.record_success(fp)
+        return entry
+
+    def _acquire_with_retry(self, spec: OperatorSpec, worker: int) -> CacheEntry:
+        attempts = self.build_retries + 1
+        for attempt in range(attempts):
+            t0 = self._now()
+            try:
+                entry, outcome = self.cache.acquire(spec)
+            except Exception as exc:
+                t1 = self._now()
+                self.metrics.record_event(
+                    "BUILD_FAILED", (spec.n, attempt + 1), t0, t1, worker=worker
+                )
+                if attempt + 1 >= attempts:
+                    raise FactorizationFailedError(
+                        spec.fingerprint, attempts, exc
+                    ) from exc
+                self.metrics.count("build_retries")
+                time.sleep(
+                    min(self.build_backoff * 2.0**attempt, 10 * self.build_backoff)
+                )
+                continue
+            t1 = self._now()
+            if outcome != "hit":
+                self.metrics.record_event(
+                    "BUILD" if outcome == "build" else "DISK_LOAD",
+                    (spec.n,),
+                    t0,
+                    t1,
+                    worker=worker,
+                )
+            return entry
+        raise AssertionError("unreachable")
 
     def _run_kind(self, live: list[Request], entry: CacheEntry, worker: int) -> None:
         from repro.core.solver import solve_cholesky

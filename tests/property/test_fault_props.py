@@ -1,0 +1,90 @@
+"""Property: transient fault injection is *invisible* in the output.
+
+For any seeded plan of transient faults, any worker count and any
+scheduler policy, the retried factorization must be bitwise identical
+to the fault-free run — the retry/rollback invariant the engines
+guarantee.  ``REPRO_FAULT_SEED`` offsets the drawn plan seeds so CI
+can sweep disjoint seed ranges across jobs.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tlr_cholesky import tlr_cholesky
+from repro.linalg.tile_matrix import TLRMatrix
+from repro.runtime.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.runtime.scheduler import (
+    FIFOScheduler,
+    LIFOScheduler,
+    PriorityScheduler,
+)
+
+#: CI sweeps disjoint plan-seed ranges by exporting REPRO_FAULT_SEED.
+SEED_OFFSET = int(os.environ.get("REPRO_FAULT_SEED", "0")) * 10_000
+
+
+def spd_tlr(n=96, tile=32):
+    rng = np.random.default_rng(17)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    a = (q * np.linspace(1.0, 6.0, n)) @ q.T
+    return TLRMatrix.from_dense((a + a.T) / 2, tile, accuracy=1e-9)
+
+
+@pytest.fixture(scope="module")
+def clean_factor():
+    r = tlr_cholesky(spd_tlr(), trim=True)
+    return r.factor.to_dense(symmetrize=False)
+
+
+class TestTransientFaultInvariance:
+    @given(
+        plan_seed=st.integers(0, 9999),
+        rate=st.sampled_from([0.05, 0.1, 0.25]),
+        workers=st.sampled_from([1, 4]),
+        sched=st.sampled_from(
+            [FIFOScheduler, LIFOScheduler, PriorityScheduler]
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_factor_bitwise_identical_under_faults(
+        self, clean_factor, plan_seed, rate, workers, sched
+    ):
+        plan = FaultPlan.parse(
+            f"all:{rate}", seed=SEED_OFFSET + plan_seed
+        )
+        injector = FaultInjector(plan)
+        r = tlr_cholesky(
+            spd_tlr(),
+            trim=True,
+            scheduler=sched(),
+            workers=workers,
+            fault_injector=injector,
+            retry=RetryPolicy(max_retries=16),
+        )
+        assert np.array_equal(
+            r.factor.to_dense(symmetrize=False), clean_factor
+        )
+        assert r.retries == injector.counters["transient"]
+
+    @given(plan_seed=st.integers(0, 9999))
+    @settings(max_examples=10, deadline=None)
+    def test_injected_run_is_reproducible(self, plan_seed):
+        """The same plan injects the same faults on every run."""
+        counts = []
+        for _ in range(2):
+            injector = FaultInjector(
+                FaultPlan.parse("all:0.2", seed=SEED_OFFSET + plan_seed)
+            )
+            tlr_cholesky(
+                spd_tlr(),
+                trim=True,
+                workers=2,
+                fault_injector=injector,
+                retry=RetryPolicy(max_retries=16),
+            )
+            counts.append(dict(injector.counters))
+        assert counts[0] == counts[1]

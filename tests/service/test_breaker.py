@@ -1,0 +1,235 @@
+"""Circuit breaker: unit tests with an injectable clock, plus service
+integration — repeated build failures open the breaker (fast-fail, no
+build attempts), a half-open probe closes it once the fault clears."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    CircuitBreaker,
+    CircuitOpenError,
+    FactorizationFailedError,
+    OperatorSpec,
+    SolveService,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreakerUnit:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout"):
+            CircuitBreaker(reset_timeout=0.0)
+
+    def test_closed_by_default_and_allows(self, clock):
+        b = CircuitBreaker(failure_threshold=2, reset_timeout=10.0, clock=clock)
+        assert b.state("op") == "closed"
+        b.allow("op")  # no raise
+
+    def test_opens_after_threshold_consecutive_failures(self, clock):
+        b = CircuitBreaker(failure_threshold=3, reset_timeout=10.0, clock=clock)
+        assert b.record_failure("op") is False
+        assert b.record_failure("op") is False
+        assert b.record_failure("op") is True  # just opened
+        assert b.state("op") == "open"
+        with pytest.raises(CircuitOpenError, match="circuit open"):
+            b.allow("op")
+
+    def test_success_resets_consecutive_count(self, clock):
+        b = CircuitBreaker(failure_threshold=2, reset_timeout=10.0, clock=clock)
+        b.record_failure("op")
+        b.record_success("op")
+        assert b.record_failure("op") is False
+        assert b.state("op") == "closed"
+
+    def test_keys_are_independent(self, clock):
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        b.record_failure("bad")
+        assert b.state("bad") == "open"
+        assert b.state("good") == "closed"
+        b.allow("good")  # unaffected
+
+    def test_half_open_after_reset_timeout(self, clock):
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        b.record_failure("op")
+        clock.advance(9.9)
+        assert b.state("op") == "open"
+        clock.advance(0.2)
+        assert b.state("op") == "half-open"
+        b.allow("op")  # the probe is admitted
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        b.record_failure("op")
+        clock.advance(11.0)
+        b.allow("op")  # probe claimed
+        with pytest.raises(CircuitOpenError, match="probe is already in flight"):
+            b.allow("op")
+
+    def test_successful_probe_closes(self, clock):
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        b.record_failure("op")
+        clock.advance(11.0)
+        b.allow("op")
+        b.record_success("op")
+        assert b.state("op") == "closed"
+        b.allow("op")
+        b.allow("op")  # no probe limit once closed
+
+    def test_failed_probe_reopens_for_full_timeout(self, clock):
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        b.record_failure("op")
+        clock.advance(11.0)
+        b.allow("op")
+        assert b.record_failure("op") is True
+        assert b.state("op") == "open"
+        clock.advance(9.0)  # not yet: a *full* timeout from the probe failure
+        with pytest.raises(CircuitOpenError):
+            b.allow("op")
+        clock.advance(2.0)
+        assert b.state("op") == "half-open"
+
+    def test_states_snapshot(self, clock):
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        b.record_failure("a")
+        b.record_success("b")
+        assert b.states() == {"a": "open", "b": "closed"}
+
+
+class FlakyBuild:
+    """Monkeypatch target: fails OperatorSpec.build until told to heal."""
+
+    def __init__(self, real_build):
+        self.real_build = real_build
+        self.failing = True
+        self.calls = 0
+        self.lock = threading.Lock()
+
+    def __call__(self, spec, **kwargs):
+        with self.lock:
+            self.calls += 1
+            failing = self.failing
+        if failing:
+            raise np.linalg.LinAlgError("injected build failure")
+        return self.real_build(spec, **kwargs)
+
+
+@pytest.fixture()
+def flaky_build(monkeypatch):
+    real = OperatorSpec.build
+    flaky = FlakyBuild(real)
+    monkeypatch.setattr(
+        OperatorSpec, "build", lambda spec, **kw: flaky(spec, **kw)
+    )
+    return flaky
+
+
+class TestServiceIntegration:
+    @pytest.mark.timeout(60)
+    def test_build_failures_open_breaker_then_probe_recovers(
+        self, small_spec, rhs, flaky_build, clock
+    ):
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout=30.0, clock=clock
+        )
+        with SolveService(
+            workers=1, build_retries=0, breaker=breaker
+        ) as svc:
+            # two failing builds open the breaker
+            for _ in range(2):
+                with pytest.raises(FactorizationFailedError) as err:
+                    svc.submit_solve(small_spec, rhs).result(timeout=30)
+                assert err.value.attempts == 1
+            assert breaker.state(small_spec.fingerprint) == "open"
+
+            # open: requests fast-fail without touching the build
+            calls_before = flaky_build.calls
+            with pytest.raises(CircuitOpenError):
+                svc.submit_solve(small_spec, rhs).result(timeout=30)
+            assert flaky_build.calls == calls_before
+            assert svc.metrics.to_dict()["counters"]["breaker_fast_fail"] == 1
+            assert svc.metrics.to_dict()["counters"]["breaker_opened"] == 1
+
+            # fault clears, timeout elapses: the half-open probe closes it
+            flaky_build.failing = False
+            clock.advance(31.0)
+            x = svc.submit_solve(small_spec, rhs).result(timeout=30)
+            assert np.isfinite(x).all()
+            assert breaker.state(small_spec.fingerprint) == "closed"
+
+            # subsequent requests hit the cache, breaker stays closed
+            svc.submit_solve(small_spec, rhs).result(timeout=30)
+            assert breaker.state(small_spec.fingerprint) == "closed"
+
+    @pytest.mark.timeout(60)
+    def test_build_retry_recovers_transient_failure(
+        self, small_spec, rhs, flaky_build
+    ):
+        """A once-failing build succeeds on the in-request retry; the
+        breaker never opens and the client never sees the failure."""
+
+        class HealAfterOne(FlakyBuild):
+            def __call__(self, spec, **kwargs):
+                with self.lock:
+                    self.calls += 1
+                    if self.calls > 1:
+                        self.failing = False
+                    failing = self.failing
+                if failing:
+                    raise np.linalg.LinAlgError("injected build failure")
+                return self.real_build(spec, **kwargs)
+
+        flaky_build.__class__ = HealAfterOne
+        with SolveService(
+            workers=1, build_retries=2, build_backoff=0.001
+        ) as svc:
+            x = svc.submit_solve(small_spec, rhs).result(timeout=30)
+            assert np.isfinite(x).all()
+            counters = svc.metrics.to_dict()["counters"]
+            assert counters["build_retries"] == 1
+            assert "breaker_opened" not in counters
+        assert flaky_build.calls == 2
+
+    @pytest.mark.timeout(60)
+    def test_exhausted_build_retries_carry_attempt_count(
+        self, small_spec, rhs, flaky_build
+    ):
+        with SolveService(
+            workers=1, build_retries=2, build_backoff=0.001
+        ) as svc:
+            with pytest.raises(FactorizationFailedError) as err:
+                svc.submit_solve(small_spec, rhs).result(timeout=30)
+            assert err.value.attempts == 3
+            assert err.value.fingerprint == small_spec.fingerprint
+            assert isinstance(err.value.cause, np.linalg.LinAlgError)
+        assert flaky_build.calls == 3
+
+    @pytest.mark.timeout(60)
+    def test_breaker_counters_exported(self, small_spec, rhs, flaky_build):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        with SolveService(workers=1, build_retries=0, breaker=breaker) as svc:
+            with pytest.raises(FactorizationFailedError):
+                svc.submit_solve(small_spec, rhs).result(timeout=30)
+            with pytest.raises(CircuitOpenError):
+                svc.submit_solve(small_spec, rhs).result(timeout=30)
+            d = svc.metrics.to_dict()["counters"]
+            assert d["breaker_opened"] == 1
+            assert d["breaker_fast_fail"] == 1

@@ -112,3 +112,34 @@ class TestCommands:
         assert result["requests"] == 8
         assert result["cache"]["builds"] == 1
         assert result["batched"]["throughput_rps"] > 0
+
+
+class TestFaultInjectionFlags:
+    def test_factorize_with_injected_faults_recovers(self, capsys):
+        rc = main(
+            ["factorize", "--viruses", "4", "--points-per-virus", "60",
+             "--tile-size", "30", "--inject-faults", "all:0.2",
+             "--fault-seed", "42", "--max-retries", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "task retries" in out
+        assert "residual" in out
+
+    def test_factorize_fail_fast_names_task(self, capsys):
+        rc = main(
+            ["factorize", "--viruses", "4", "--points-per-virus", "60",
+             "--tile-size", "30", "--inject-faults", "POTRF:1.0",
+             "--max-retries", "0"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "POTRF(0)" in err and "failed after 1 attempt" in err
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            main(
+                ["factorize", "--viruses", "2", "--points-per-virus", "60",
+                 "--tile-size", "30", "--inject-faults", "all:meltdown:0.1"]
+            )
