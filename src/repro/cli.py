@@ -60,12 +60,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="deterministic fault plan, e.g. 'all:0.1' or "
                         "'GEMM:0.2,TRSM:delay:0.05' "
                         "(CLASS:RATE or CLASS:KIND:RATE, kinds: "
-                        "transient/delay/corrupt)")
+                        "transient/delay/corrupt/crash/bitflip; 'crash' "
+                        "kills the process with exit 137, 'bitflip' "
+                        "silently flips one bit of an operand tile)")
     f.add_argument("--max-retries", type=int, default=3,
                    help="per-task transient-failure retries with tile "
                         "rollback (0 = fail fast with TaskFailedError)")
     f.add_argument("--fault-seed", type=int, default=0,
                    help="seed of the injected fault plan")
+    f.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                   help="periodically checkpoint the completed-task "
+                        "frontier + dirty tiles into DIR (atomic, "
+                        "checksummed); a killed run resumes with --resume")
+    f.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
+                   help="checkpoint cadence in retired tasks "
+                        "(default: 25)")
+    f.add_argument("--checkpoint-every-seconds", type=float, default=None,
+                   metavar="S",
+                   help="additional wall-clock checkpoint cadence")
+    f.add_argument("--resume", action="store_true",
+                   help="resume from the newest valid checkpoint in "
+                        "--checkpoint-dir (fresh run if none); the "
+                        "resumed factor is bitwise identical to an "
+                        "uninterrupted run")
+    f.add_argument("--verify-tiles", action="store_true",
+                   help="verify per-tile BLAKE2b checksums before every "
+                        "kernel and once at run end (also: "
+                        "$REPRO_VERIFY_TILES=1)")
+    f.add_argument("--save-factor", type=str, default=None, metavar="PATH",
+                   help="save the computed factor as a checksummed .npz "
+                        "(atomic write)")
 
     s = sub.add_parser("simulate", help="at-scale performance estimate")
     s.add_argument("--machine", choices=["shaheen", "fugaku"], default="shaheen")
@@ -184,13 +208,34 @@ def _cmd_factorize(args) -> int:
     injector = None
     retry = None
     if args.inject_faults:
+        # hard_crash: an injected 'crash' takes the whole process down
+        # with exit 137 (SIGKILL semantics) — the checkpoint/resume
+        # path is exercised exactly as a real kill would.
         injector = FaultInjector(
-            FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+            FaultPlan.parse(args.inject_faults, seed=args.fault_seed),
+            hard_crash=True,
         )
         if args.max_retries > 0:
             retry = RetryPolicy(
                 max_retries=args.max_retries, backoff_seconds=0.001
             )
+    manager = None
+    resume_from = None
+    if args.checkpoint_dir:
+        from repro.runtime.checkpoint import CheckpointManager, load_checkpoint
+
+        manager = CheckpointManager(
+            args.checkpoint_dir,
+            every_tasks=args.checkpoint_every,
+            every_seconds=args.checkpoint_every_seconds,
+        )
+        if args.resume:
+            resume_from = load_checkpoint(args.checkpoint_dir)
+            if resume_from is None:
+                print("no usable checkpoint found; starting from scratch")
+    elif args.resume:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     nworkers = resolve_workers(args.workers)
     try:
         result = tlr_cholesky(
@@ -199,6 +244,9 @@ def _cmd_factorize(args) -> int:
             workers=args.workers,
             fault_injector=injector,
             retry=retry,
+            checkpoint=manager,
+            resume_from=resume_from,
+            verify_tiles=True if args.verify_tiles else None,
         )
     except TaskFailedError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -214,7 +262,16 @@ def _cmd_factorize(args) -> int:
               f"{dict(injector.counters)}")
         print(f"task retries: {result.retries} "
               f"(max {args.max_retries} per task)")
+    if manager is not None:
+        print(f"checkpoints: {result.checkpoints_written} written, "
+              f"{result.resumed_tasks} tasks resumed, "
+              f"{result.tiles_healed} tiles healed")
     print(f"residual: {result.residual(gen.dense()):.2e}")
+    if args.save_factor:
+        from repro.linalg.serialization import save_tlr
+
+        save_tlr(result.factor, args.save_factor)
+        print(f"factor written to {args.save_factor}")
     if args.trace:
         result.trace.save_chrome_trace(
             args.trace, process_name="repro.factorize", label_worker_lanes=True

@@ -10,6 +10,7 @@ tiles hold dense ``L[k,k]``; off-diagonal tiles hold compressed
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -17,6 +18,7 @@ import numpy as np
 
 from repro.core.analysis import TrimmingAnalysis, analyze_ranks
 from repro.core.trimming import cholesky_tasks
+from repro.runtime.checkpoint import Checkpoint, CheckpointManager, load_checkpoint
 from repro.linalg.kernels_dense import DiagonalShiftPolicy
 from repro.linalg.kernels_tlr import (
     gemm_tile,
@@ -58,6 +60,12 @@ class FactorizationResult:
     diagonal_shifts: dict[int, float] = field(default_factory=dict)
     #: transient-failure retries performed by the execution engine
     retries: int = 0
+    #: tasks skipped by resuming from a checkpoint frontier
+    resumed_tasks: int = 0
+    #: checkpoints written during this run
+    checkpoints_written: int = 0
+    #: corrupt tiles healed in place from last-known-good references
+    tiles_healed: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -135,6 +143,9 @@ def tlr_cholesky(
     fault_injector: FaultInjector | None = None,
     retry: RetryPolicy | None = None,
     shift_policy: DiagonalShiftPolicy | None = None,
+    checkpoint: CheckpointManager | str | os.PathLike | None = None,
+    resume_from: Checkpoint | str | os.PathLike | None = None,
+    verify_tiles: bool | None = None,
 ) -> FactorizationResult:
     """Factorize a TLR matrix in place: ``A = L L^T``.
 
@@ -168,6 +179,25 @@ def tlr_cholesky(
         POTRF retries with escalating diagonal shifts, reported in
         ``result.diagonal_shifts``.  ``None`` (default) keeps the
         strict fail-on-indefinite behavior below.
+    checkpoint:
+        A :class:`~repro.runtime.checkpoint.CheckpointManager` (or a
+        directory, wrapping one with default cadence) persisting the
+        completed-task frontier + dirty tiles so a killed run can be
+        resumed.
+    resume_from:
+        A loaded :class:`~repro.runtime.checkpoint.Checkpoint` or a
+        path to a checkpoint directory/manifest.  ``a`` must be the
+        *pristine* operator, rebuilt exactly as the interrupted run
+        built it; the checkpoint's tiles are overlaid and only
+        unfinished tasks execute, so the resumed factor is bitwise
+        identical to an uninterrupted run.  A nonexistent/empty
+        directory simply runs from scratch (crash-before-first-
+        checkpoint friendly); a checkpoint from a *different*
+        factorization raises ``ValueError``.
+    verify_tiles:
+        Per-kernel BLAKE2b operand verification + end-of-run sweep
+        (default: ``$REPRO_VERIFY_TILES``); see
+        :class:`~repro.runtime.engine.ExecutionEngine`.
 
     Raises
     ------
@@ -192,6 +222,20 @@ def tlr_cholesky(
         rank_of=lambda m, k: int(ranks[m, k]),
     )
     graph = build_graph(tasks)
+
+    manager: CheckpointManager | None
+    if checkpoint is None or isinstance(checkpoint, CheckpointManager):
+        manager = checkpoint
+    else:
+        manager = CheckpointManager(checkpoint)
+    if resume_from is not None and not isinstance(resume_from, Checkpoint):
+        resume_from = load_checkpoint(resume_from)  # None when dir is empty
+    if resume_from is not None:
+        if manager is None:
+            # Resuming without a manager still needs frontier/heal
+            # bookkeeping; keep writing alongside the old checkpoints.
+            manager = CheckpointManager(resume_from.manifest_path.parent)
+        manager.bind(graph, a, resume=resume_from)
     setup = time.perf_counter() - t0
 
     engine = engine_for(
@@ -199,13 +243,14 @@ def tlr_cholesky(
         scheduler if scheduler is not None else PriorityScheduler(),
         fault_injector=fault_injector,
         retry=retry,
+        verify_tiles=verify_tiles,
     )
     shifts: dict[int, float] = {}
     register_cholesky_kernels(
         engine, shift_policy=shift_policy, shift_report=shifts
     )
     t1 = time.perf_counter()
-    trace = engine.run(graph, a)
+    trace = engine.run(graph, a, checkpoint=manager)
     execute = time.perf_counter() - t1
 
     return FactorizationResult(
@@ -217,4 +262,9 @@ def tlr_cholesky(
         execute_seconds=execute,
         diagonal_shifts=shifts,
         retries=engine.last_run_retries,
+        resumed_tasks=manager.resumed_tasks if manager is not None else 0,
+        checkpoints_written=(
+            manager.checkpoints_written if manager is not None else 0
+        ),
+        tiles_healed=manager.tiles_healed if manager is not None else 0,
     )

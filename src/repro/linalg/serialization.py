@@ -5,6 +5,20 @@ the compressed form lets downstream runs (factorize with different
 distributions, sweep accuracy-compatible experiments) skip it.  The
 format stores each tile's payload under ``kind_/u_/v_/d_`` keys plus
 a small header — no pickling, portable across numpy versions.
+
+Robustness guarantees (format version 2):
+
+* **atomic writes** — :func:`save_tlr` streams into a temp file in the
+  target directory, fsyncs, then renames, so a crash mid-save can
+  never leave a torn ``.npz`` under the final name;
+* **embedded checksums** — a BLAKE2b digest per tile
+  (:func:`repro.linalg.integrity.tile_checksum`) rides along with the
+  payload and is re-verified on load, so a flipped bit or truncated
+  buffer raises :class:`~repro.linalg.integrity.TileIntegrityError`
+  instead of flowing silently into a factorization or a served solve.
+
+Version-1 files (no checksum block) still load; they simply skip
+verification.
 """
 
 from __future__ import annotations
@@ -12,17 +26,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import DTYPE
+from repro.linalg.integrity import TileIntegrityError, tile_checksum
 from repro.linalg.lowrank import LowRankFactor
 from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
 from repro.linalg.tile_matrix import TLRMatrix
+from repro.utils.atomic import atomic_write_via
 
 __all__ = ["save_tlr", "load_tlr"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_tlr(a: TLRMatrix, path, compressed: bool = True) -> None:
-    """Write a TLR matrix to ``path`` (``.npz``).
+    """Atomically write a TLR matrix to ``path`` (``.npz``).
 
     ``compressed=False`` trades disk bytes for (de)serialization
     speed — the right choice for warm-start caches (e.g. the serving
@@ -42,6 +59,7 @@ def save_tlr(a: TLRMatrix, path, compressed: bool = True) -> None:
         "accuracy": np.array([a.accuracy], dtype=np.float64),
     }
     kinds = []
+    checksums = []
     for (m, k), tile in sorted(a, key=lambda it: it[0]):
         key = f"{m}_{k}"
         if isinstance(tile, NullTile):
@@ -53,18 +71,26 @@ def save_tlr(a: TLRMatrix, path, compressed: bool = True) -> None:
         else:
             kinds.append((m, k, 2))
             arrays[f"d_{key}"] = tile.data
+        checksums.append(tile_checksum(tile))
     arrays["kinds"] = np.array(kinds, dtype=np.int64)
-    if compressed:
-        np.savez_compressed(path, **arrays)
-    else:
-        np.savez(path, **arrays)
+    arrays["checksums"] = np.array(checksums, dtype="U64")
+    write = np.savez_compressed if compressed else np.savez
+    atomic_write_via(path, lambda f: write(f, **arrays))
 
 
-def load_tlr(path) -> TLRMatrix:
-    """Read a TLR matrix written by :func:`save_tlr`."""
+def load_tlr(path, verify: bool = True) -> TLRMatrix:
+    """Read a TLR matrix written by :func:`save_tlr`.
+
+    With ``verify=True`` (default) every tile is re-hashed against the
+    embedded checksum block; a mismatch — bit rot, a tampered file, a
+    partially overwritten entry — raises
+    :class:`~repro.linalg.integrity.TileIntegrityError` rather than
+    returning corrupt numerics.  Version-1 files carry no checksums
+    and load unverified.
+    """
     with np.load(path) as data:
         header = data["header"]
-        if header[0] != _FORMAT_VERSION:
+        if int(header[0]) not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported TLR file version {header[0]}")
         n, tile_size = int(header[1]), int(header[2])
         max_rank = int(header[3]) if header[3] >= 0 else None
@@ -76,26 +102,47 @@ def load_tlr(path) -> TLRMatrix:
             cols = min(tile_size, n - k * tile_size)
             return (rows, cols)
 
+        kinds = data["kinds"]
+        checksums = data["checksums"] if "checksums" in data.files else None
+        if checksums is not None and len(checksums) != len(kinds):
+            raise ValueError(
+                f"file holds {len(checksums)} checksums for "
+                f"{len(kinds)} tiles"
+            )
         tiles: dict[tuple[int, int], Tile] = {}
-        for m, k, kind in data["kinds"]:
+        for i, (m, k, kind) in enumerate(kinds):
             m, k, kind = int(m), int(k), int(kind)
             key = f"{m}_{k}"
             if kind == 0:
-                tiles[(m, k)] = NullTile(tile_shape(m, k))
+                tile: Tile = NullTile(tile_shape(m, k))
             elif kind == 1:
-                tiles[(m, k)] = LowRankTile(
+                # np.asarray (not ascontiguousarray): keep the stored
+                # memory layout — BLAS rounds differently for C- vs
+                # F-ordered operands, and reloaded factors must behave
+                # bitwise identically to freshly built ones.
+                tile = LowRankTile(
                     LowRankFactor(
-                        np.ascontiguousarray(data[f"u_{key}"], dtype=DTYPE),
-                        np.ascontiguousarray(data[f"v_{key}"], dtype=DTYPE),
+                        np.asarray(data[f"u_{key}"], dtype=DTYPE),
+                        np.asarray(data[f"v_{key}"], dtype=DTYPE),
                     )
                 )
             elif kind == 2:
-                tiles[(m, k)] = DenseTile(data[f"d_{key}"])
+                tile = DenseTile(data[f"d_{key}"])
             else:
                 raise ValueError(f"corrupt tile kind {kind} at ({m}, {k})")
-        expected = nt * (nt + 1) // 2
-        if len(tiles) != expected:
+            if verify and checksums is not None:
+                expected = str(checksums[i])
+                actual = tile_checksum(tile)
+                if actual != expected:
+                    raise TileIntegrityError(
+                        f"{path}: tile ({m}, {k}) checksum mismatch "
+                        f"(expected {expected}, got {actual}) — "
+                        "file content corrupted since it was written"
+                    )
+            tiles[(m, k)] = tile
+        expected_count = nt * (nt + 1) // 2
+        if len(tiles) != expected_count:
             raise ValueError(
-                f"file holds {len(tiles)} tiles, expected {expected}"
+                f"file holds {len(tiles)} tiles, expected {expected_count}"
             )
     return TLRMatrix(n, tile_size, tiles, accuracy, max_rank)

@@ -9,12 +9,21 @@ modeled by the discrete-event simulator in :mod:`repro.machine`.
 
 from repro.runtime.task import AccessMode, DataAccess, Task
 from repro.runtime.dag import TaskGraph, build_graph
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    ChecksumLedger,
+    graph_signature,
+    load_checkpoint,
+)
 from repro.runtime.faults import (
     FaultInjector,
     FaultPlan,
     FaultRule,
+    InjectedCrashError,
     RetryPolicy,
     TaskFailedError,
+    TileCorruptionError,
     TransientKernelError,
 )
 from repro.runtime.scheduler import (
@@ -47,11 +56,18 @@ __all__ = [
     "ParallelExecutionEngine",
     "engine_for",
     "resolve_workers",
+    "Checkpoint",
+    "CheckpointManager",
+    "ChecksumLedger",
+    "graph_signature",
+    "load_checkpoint",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
+    "InjectedCrashError",
     "RetryPolicy",
     "TaskFailedError",
+    "TileCorruptionError",
     "TransientKernelError",
     "TaskPool",
     "DistributedExecutor",

@@ -16,11 +16,17 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    ChecksumLedger,
+    verify_tiles_from_env,
+)
 from repro.runtime.dag import TaskGraph
 from repro.runtime.faults import (
     FaultInjector,
     RetryPolicy,
     TaskFailedError,
+    TileCorruptionError,
     restore_writes,
     snapshot_writes,
 )
@@ -54,6 +60,15 @@ class ExecutionEngine:
         retried run is bitwise identical to a fault-free one.
         Exhausted retries (and, with no policy, any transient failure)
         raise :class:`~repro.runtime.faults.TaskFailedError`.
+    verify_tiles:
+        Verify every operand tile's BLAKE2b checksum before each
+        kernel consumes it, and sweep every tile once at run end —
+        ABFT-style silent-data-corruption detection.  ``None``
+        (default) defers to ``$REPRO_VERIFY_TILES``.  A mismatch first
+        tries to heal from the checkpoint manager's last-known-good
+        reference, then raises
+        :class:`~repro.runtime.faults.TileCorruptionError` (a
+        transient, so the retry policy applies).
     """
 
     def __init__(
@@ -61,12 +76,16 @@ class ExecutionEngine:
         scheduler: Scheduler | None = None,
         fault_injector: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
+        verify_tiles: bool | None = None,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else PriorityScheduler()
         self.fault_injector = fault_injector
         self.retry = retry
+        self.verify_tiles = verify_tiles
         #: retried attempts accumulated over the most recent run
         self.last_run_retries = 0
+        #: tasks skipped by the checkpoint frontier on the last run
+        self.last_run_resumed = 0
         self._kernels: dict[str, Kernel] = {}
 
     def register(self, klass: str, kernel: Kernel) -> None:
@@ -75,16 +94,97 @@ class ExecutionEngine:
             raise ValueError(f"kernel for task class {klass!r} already registered")
         self._kernels[klass] = kernel
 
-    def _dispatch(self, task: Task, kernel: Kernel, data: object) -> int:
+    def _verify_enabled(self) -> bool:
+        if self.verify_tiles is not None:
+            return bool(self.verify_tiles)
+        return verify_tiles_from_env()
+
+    def _setup_integrity(
+        self, data: object, checkpoint: CheckpointManager | None
+    ) -> tuple[ChecksumLedger | None, bool]:
+        """The (ledger, verify-reads?) pair for one run.
+
+        A checkpoint manager always brings its ledger (its manifests
+        embed the checksums); verification without checkpointing gets
+        a run-local ledger seeded from the operator's initial tiles.
+        """
+        verify = self._verify_enabled()
+        if checkpoint is not None:
+            return checkpoint.ledger, verify
+        if not verify:
+            return None, False
+        ledger = ChecksumLedger()
+        if hasattr(data, "tile") and hasattr(data, "__iter__"):
+            ledger.seed(data)
+        return ledger, True
+
+    def _verify_reads(
+        self,
+        task: Task,
+        data: object,
+        ledger: ChecksumLedger,
+        checkpoint: CheckpointManager | None,
+    ) -> None:
+        """Checksum every operand tile before the kernel consumes it."""
+        for key in sorted(set(task.reads)):
+            tile = data.tile(*key)
+            if ledger.matches(key, tile):
+                continue
+            if checkpoint is not None and checkpoint.heal(data, key):
+                if ledger.matches(key, data.tile(*key)):
+                    continue
+            raise TileCorruptionError(
+                f"{task}: operand tile {key} failed checksum "
+                "verification — silent data corruption detected before "
+                "the kernel consumed it"
+            )
+
+    def _final_verify(
+        self,
+        data: object,
+        ledger: ChecksumLedger,
+        checkpoint: CheckpointManager | None,
+    ) -> None:
+        """Sweep every ledgered tile once after the last task retires.
+
+        Catches corruption of tiles whose final value no task read
+        (e.g. the last writer's output) — the per-read checks cannot
+        see those.
+        """
+        for key in sorted(ledger.keys()):
+            tile = data.tile(*key)
+            if ledger.matches(key, tile):
+                continue
+            if checkpoint is not None and checkpoint.heal(data, key):
+                if ledger.matches(key, data.tile(*key)):
+                    continue
+            raise TileCorruptionError(
+                f"post-run integrity sweep: tile {key} failed checksum "
+                "verification — the factor is corrupt and must not be "
+                "used"
+            )
+
+    def _dispatch(
+        self,
+        task: Task,
+        kernel: Kernel,
+        data: object,
+        ledger: ChecksumLedger | None = None,
+        verify: bool = False,
+        checkpoint: CheckpointManager | None = None,
+    ) -> int:
         """Run one task through fault injection and retry/rollback.
 
         Returns the number of retries performed.  Exceptions outside
         the retry policy's transient set propagate unchanged
         (fail-fast); transient ones that exhaust the budget are
-        wrapped in :class:`TaskFailedError`.
+        wrapped in :class:`TaskFailedError`.  With a ledger, the
+        task's output checksums are recorded after a successful
+        attempt; with ``verify`` also set, operand tiles are checked
+        (and a corrupt one healed or retried) before each attempt.
         """
         injector = self.fault_injector
-        if injector is None and self.retry is None:
+        if injector is None and self.retry is None and ledger is None:
             kernel(task, data)
             return 0
         retry = self.retry if self.retry is not None else _NO_RETRY
@@ -92,10 +192,15 @@ class ExecutionEngine:
         while True:
             snapshot = snapshot_writes(task, data)
             try:
+                if verify and ledger is not None:
+                    self._verify_reads(task, data, ledger, checkpoint)
                 if injector is not None:
                     injector.invoke(kernel, task, data, attempt)
                 else:
                     kernel(task, data)
+                if ledger is not None:
+                    for key in set(task.writes):
+                        ledger.record(key, data.tile(*key))
                 return attempt
             except retry.retry_on as exc:
                 restore_writes(task, data, snapshot)
@@ -106,21 +211,61 @@ class ExecutionEngine:
                     time.sleep(pause)
                 attempt += 1
 
-    def run(self, graph: TaskGraph, data: object, trace: Trace | None = None) -> Trace:
+    def _frontier(
+        self,
+        graph: TaskGraph,
+        data: object,
+        indegree: list[int],
+        checkpoint: CheckpointManager | None,
+    ) -> frozenset:
+        """Adopt a checkpoint frontier: pre-retire its completed tasks.
+
+        Binds the manager (a no-op if :meth:`CheckpointManager.bind`
+        already ran, e.g. via ``tlr_cholesky(resume_from=...)``),
+        decrements successor indegrees for every completed task, and
+        returns the completed uid set.  The frontier is downward-closed
+        (a task only retires after its predecessors), so the remaining
+        subgraph is exactly the unfinished work.
+        """
+        if checkpoint is None:
+            return frozenset()
+        checkpoint.bind(graph, data)
+        completed = checkpoint.completed_uids
+        if completed:
+            for i, task in enumerate(graph.tasks):
+                if task.uid in completed:
+                    for j in graph.successors.get(i, ()):
+                        indegree[j] -= 1
+        self.last_run_resumed = len(completed)
+        return completed
+
+    def run(
+        self,
+        graph: TaskGraph,
+        data: object,
+        trace: Trace | None = None,
+        checkpoint: CheckpointManager | None = None,
+    ) -> Trace:
         """Execute every task in dependency order.
 
         Returns the trace (a fresh one unless ``trace`` is supplied).
         Raises ``KeyError`` if a task class has no registered kernel
         and ``ValueError`` if the graph cannot be fully executed
-        (cycle / inconsistent dependencies).
+        (cycle / inconsistent dependencies).  With ``checkpoint``,
+        tasks inside the manager's completed frontier are skipped and
+        a checkpoint is flushed whenever the manager's cadence says one
+        is due.
         """
         if trace is None:
             trace = Trace()
         self.last_run_retries = 0
+        self.last_run_resumed = 0
         n = len(graph)
         indegree = [graph.in_degree(i) for i in range(n)]
+        completed = self._frontier(graph, data, indegree, checkpoint)
+        ledger, verify = self._setup_integrity(data, checkpoint)
         for i in range(n):
-            if indegree[i] == 0:
+            if indegree[i] == 0 and graph.tasks[i].uid not in completed:
                 self.scheduler.push(i, graph.tasks[i])
 
         t0 = time.perf_counter()
@@ -132,18 +277,25 @@ class ExecutionEngine:
             if kernel is None:
                 raise KeyError(f"no kernel registered for task class {task.klass!r}")
             start = time.perf_counter() - t0
-            self.last_run_retries += self._dispatch(task, kernel, data)
+            self.last_run_retries += self._dispatch(
+                task, kernel, data, ledger=ledger, verify=verify, checkpoint=checkpoint
+            )
             end = time.perf_counter() - t0
             trace.record(
                 TraceEvent(task.klass, task.params, start, end, flops=task.flops)
             )
             done += 1
+            if checkpoint is not None and checkpoint.task_retired(task, data):
+                checkpoint.flush(data)
             for j in graph.successors.get(i, ()):
                 indegree[j] -= 1
                 if indegree[j] == 0:
                     self.scheduler.push(j, graph.tasks[j])
-        if done != n:
+        if done != n - len(completed):
             raise ValueError(
-                f"executed {done} of {n} tasks; graph has unsatisfiable dependencies"
+                f"executed {done} of {n - len(completed)} tasks; "
+                "graph has unsatisfiable dependencies"
             )
+        if verify and ledger is not None:
+            self._final_verify(data, ledger, checkpoint)
         return trace

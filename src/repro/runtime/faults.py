@@ -43,6 +43,8 @@ from repro.runtime.task import Task
 __all__ = [
     "FAULT_KINDS",
     "TransientKernelError",
+    "TileCorruptionError",
+    "InjectedCrashError",
     "TaskFailedError",
     "FaultRule",
     "FaultPlan",
@@ -53,7 +55,7 @@ __all__ = [
 ]
 
 #: Supported injected failure modes.
-FAULT_KINDS = ("transient", "delay", "corrupt")
+FAULT_KINDS = ("transient", "delay", "corrupt", "crash", "bitflip")
 
 
 class TransientKernelError(RuntimeError):
@@ -62,6 +64,27 @@ class TransientKernelError(RuntimeError):
     The fault injector raises it for both injected transient faults
     and (after the fact) injected corrupted writes; real kernels may
     raise it for genuinely retryable conditions.
+    """
+
+
+class TileCorruptionError(TransientKernelError):
+    """A tile failed checksum verification at a kernel read.
+
+    Subclassing :class:`TransientKernelError` routes detection through
+    the engines' existing retry/rollback path: a corrupted *write*
+    heals on re-execution, and an unhealable at-rest corruption
+    exhausts the budget and surfaces as :class:`TaskFailedError` — in
+    no case does the corrupt value flow onward silently.
+    """
+
+
+class InjectedCrashError(RuntimeError):
+    """Process death injected mid-factorization (soft form).
+
+    Deliberately *not* a :class:`TransientKernelError`: a crash is not
+    retryable in-process, so it bypasses the retry policy, fails the
+    engine fast, and unit tests can catch it where a real SIGKILL
+    (``hard_crash=True``) would leave only the on-disk checkpoints.
     """
 
 
@@ -213,11 +236,24 @@ class FaultInjector:
     * ``corrupt`` — runs the kernel, overwrites one of the task's
       output tiles with NaNs, then raises
       :class:`TransientKernelError` (models a detected corrupted
-      write) — exercising the engines' rollback path for real.
+      write) — exercising the engines' rollback path for real;
+    * ``crash`` — the process dies at dispatch: with
+      ``hard_crash=True`` the interpreter exits immediately via
+      ``os._exit(137)`` (SIGKILL semantics — no cleanup, no atexit,
+      torn temp files stay behind), otherwise
+      :class:`InjectedCrashError` propagates uncaught through the
+      engine (soft form for in-process tests) — either way, recovery
+      is only possible through the checkpoint/restart layer;
+    * ``bitflip`` — runs the kernel, then *silently* flips one bit of
+      one element in a tile the task read (at-rest corruption of an
+      already-produced tile: a memory bit flip).  Nothing is raised —
+      without checksum verification (``REPRO_VERIFY_TILES=1``) the
+      corruption flows undetected into the factor.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, hard_crash: bool = False) -> None:
         self.plan = plan
+        self.hard_crash = bool(hard_crash)
         self.counters: Counter[str] = Counter()
         self._lock = threading.Lock()
 
@@ -240,6 +276,16 @@ class FaultInjector:
                 self._count("delay", task.klass)
                 time.sleep(rule.delay_seconds)
         for rule in faults:
+            if rule.kind == "crash":
+                self._count("crash", task.klass)
+                if self.hard_crash:
+                    import os
+
+                    os._exit(137)  # SIGKILL semantics: no cleanup at all
+                raise InjectedCrashError(
+                    f"injected process crash at {task} (attempt {attempt})"
+                )
+        for rule in faults:
             if rule.kind == "transient":
                 self._count("transient", task.klass)
                 raise TransientKernelError(
@@ -252,6 +298,13 @@ class FaultInjector:
                 raise TransientKernelError(
                     f"injected corrupted write in {task} (attempt {attempt})"
                 )
+        for rule in faults:
+            # deliberately silent on success: the whole point of the
+            # bitflip kind is that only checksum verification sees it
+            if rule.kind == "bitflip" and self._bitflip_one_read(
+                task, data, attempt
+            ):
+                self._count("bitflip", task.klass)
 
     @staticmethod
     def _corrupt_one_write(task: Task, data: object) -> bool:
@@ -266,6 +319,52 @@ class FaultInjector:
         m, k = writes[0]
         shape = data.tile(m, k).shape
         data.set_tile(m, k, DenseTile(np.full(shape, np.nan)))
+        return True
+
+    def _bitflip_one_read(self, task: Task, data: object, attempt: int) -> bool:
+        """Flip one bit in one element of a tile the task only reads.
+
+        Pure-read tiles are already-finalized outputs of earlier tasks
+        (their checksums, if a ledger is active, were recorded when
+        they were produced), so flipping a bit here models at-rest
+        corruption: a later reader's pre-kernel verification — or the
+        end-of-run sweep — is the only defense.  The perturbed tile is
+        *republished* via ``set_tile`` (a fresh array), honoring the
+        kernels' no-in-place-mutation convention; deterministic in
+        ``(seed, task, attempt)`` like every other decision.
+        """
+        if not hasattr(data, "tile") or not hasattr(data, "set_tile"):
+            return False
+        written = set(task.writes)
+        read_only = sorted(set(task.reads) - written)
+        if not read_only:
+            return False
+        import numpy as np
+
+        from repro.linalg.lowrank import LowRankFactor
+        from repro.linalg.tile import DenseTile, LowRankTile
+
+        salt = f"{self.plan.seed}|bitflip|{task.klass}|{task.params}|{attempt}"
+        m, k = read_only[
+            int(_fraction(salt + "|tile") * len(read_only)) % len(read_only)
+        ]
+        tile = data.tile(m, k)
+        if isinstance(tile, LowRankTile):
+            u = tile.u.copy()
+            flat = u.reshape(-1).view(np.uint64)
+            flat[int(_fraction(salt + "|elem") * flat.size) % flat.size] ^= (
+                np.uint64(1) << np.uint64(40)
+            )
+            data.set_tile(m, k, LowRankTile(LowRankFactor(u, tile.v.copy())))
+        elif isinstance(tile, DenseTile):
+            d = tile.data.copy()
+            flat = d.reshape(-1).view(np.uint64)
+            flat[int(_fraction(salt + "|elem") * flat.size) % flat.size] ^= (
+                np.uint64(1) << np.uint64(40)
+            )
+            data.set_tile(m, k, DenseTile(d))
+        else:  # null tiles store no payload to corrupt
+            return False
         return True
 
 

@@ -35,6 +35,7 @@ import os
 import threading
 import time
 
+from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.dag import TaskGraph
 from repro.runtime.engine import ExecutionEngine
 from repro.runtime.faults import FaultInjector, RetryPolicy
@@ -102,16 +103,23 @@ def engine_for(
     scheduler: Scheduler | None = None,
     fault_injector: FaultInjector | None = None,
     retry: RetryPolicy | None = None,
+    verify_tiles: bool | None = None,
 ) -> ExecutionEngine:
     """The cheapest engine that honours ``workers``.
 
     One worker gets the serial :class:`ExecutionEngine` (no locks, no
     threads); more get a :class:`ParallelExecutionEngine`.  Fault
-    injection and retry policy are threaded into either.
+    injection, retry policy, and checksum verification are threaded
+    into either.
     """
     n = resolve_workers(workers)
     if n <= 1:
-        return ExecutionEngine(scheduler, fault_injector=fault_injector, retry=retry)
+        return ExecutionEngine(
+            scheduler,
+            fault_injector=fault_injector,
+            retry=retry,
+            verify_tiles=verify_tiles,
+        )
     return ParallelExecutionEngine(
         scheduler,
         workers=n,
@@ -119,6 +127,7 @@ def engine_for(
         fault_injector=fault_injector,
         retry=retry,
         stall_timeout=stall_timeout_from_env(),
+        verify_tiles=verify_tiles,
     )
 
 
@@ -128,6 +137,8 @@ class _RunState:
     __slots__ = (
         "indegree",
         "completed",
+        "target",
+        "skipped",
         "running",
         "failure",
         "started",
@@ -140,6 +151,11 @@ class _RunState:
     def __init__(self, graph: TaskGraph) -> None:
         self.indegree = [graph.in_degree(i) for i in range(len(graph))]
         self.completed = 0
+        #: tasks that must retire this run (graph size minus the
+        #: checkpoint frontier)
+        self.target = len(graph)
+        #: task uids pre-retired by a resumed checkpoint frontier
+        self.skipped: frozenset = frozenset()
         #: tasks popped from the ready pool and not yet retired
         self.running = 0
         self.failure: BaseException | None = None
@@ -200,8 +216,14 @@ class ParallelExecutionEngine(ExecutionEngine):
         fault_injector: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         stall_timeout: float | None = None,
+        verify_tiles: bool | None = None,
     ) -> None:
-        super().__init__(scheduler, fault_injector=fault_injector, retry=retry)
+        super().__init__(
+            scheduler,
+            fault_injector=fault_injector,
+            retry=retry,
+            verify_tiles=verify_tiles,
+        )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if stall_timeout is not None and stall_timeout <= 0.0:
@@ -265,13 +287,15 @@ class ParallelExecutionEngine(ExecutionEngine):
         self, state: _RunState, graph: TaskGraph, n: int
     ) -> ValueError:
         stuck = [
-            str(graph.tasks[j]) for j in range(n) if j not in state.started
+            str(graph.tasks[j])
+            for j in range(n)
+            if j not in state.started and graph.tasks[j].uid not in state.skipped
         ]
         shown = ", ".join(stuck[:8])
         if len(stuck) > 8:
             shown += f", ... ({len(stuck) - 8} more)"
         return ValueError(
-            f"execution stalled with {len(stuck)} of {n} "
+            f"execution stalled with {len(stuck)} of {state.target} "
             f"tasks blocked (cycle or unsatisfiable "
             f"dependencies): {shown} [{self._lane_report(state)}]"
         )
@@ -280,17 +304,27 @@ class ParallelExecutionEngine(ExecutionEngine):
     # run
     # ------------------------------------------------------------------
 
-    def run(self, graph: TaskGraph, data: object, trace: Trace | None = None) -> Trace:
+    def run(
+        self,
+        graph: TaskGraph,
+        data: object,
+        trace: Trace | None = None,
+        checkpoint: CheckpointManager | None = None,
+    ) -> Trace:
         """Execute every task; returns the (thread-safely filled) trace.
 
         Raises the first kernel exception (fail-fast), ``KeyError`` for
         an unregistered task class, and ``ValueError`` when the graph
         stalls (cycle / unsatisfiable dependencies) or — in debug mode
-        — when two concurrent tasks touch one tile.
+        — when two concurrent tasks touch one tile.  With
+        ``checkpoint``, the manager's completed frontier is skipped and
+        due checkpoints are flushed by whichever worker notices,
+        outside the pool lock.
         """
         if trace is None:
             trace = Trace()
         self.last_run_retries = 0
+        self.last_run_resumed = 0
         n = len(graph)
         if n == 0:
             return trace
@@ -303,10 +337,17 @@ class ParallelExecutionEngine(ExecutionEngine):
             )
 
         state = _RunState(graph)
+        state.skipped = self._frontier(graph, data, state.indegree, checkpoint)
+        state.target = n - len(state.skipped)
+        ledger, verify = self._setup_integrity(data, checkpoint)
+        if state.target == 0:
+            if verify and ledger is not None:
+                self._final_verify(data, ledger, checkpoint)
+            return trace
         cond = threading.Condition()
         scheduler = self.scheduler
         for i in range(n):
-            if state.indegree[i] == 0:
+            if state.indegree[i] == 0 and graph.tasks[i].uid not in state.skipped:
                 scheduler.push(i, graph.tasks[i])
 
         t0 = time.perf_counter()
@@ -315,7 +356,10 @@ class ParallelExecutionEngine(ExecutionEngine):
             while True:
                 with cond:
                     while True:
-                        if state.failure is not None or state.completed == n:
+                        if (
+                            state.failure is not None
+                            or state.completed == state.target
+                        ):
                             return
                         if scheduler:
                             i = scheduler.pop()
@@ -346,7 +390,14 @@ class ParallelExecutionEngine(ExecutionEngine):
                 kernel = self._kernels[task.klass]
                 start = time.perf_counter() - t0
                 try:
-                    attempts = self._dispatch(task, kernel, data)
+                    attempts = self._dispatch(
+                        task,
+                        kernel,
+                        data,
+                        ledger=ledger,
+                        verify=verify,
+                        checkpoint=checkpoint,
+                    )
                 except BaseException as exc:
                     with cond:
                         state.running -= 1
@@ -366,6 +417,14 @@ class ParallelExecutionEngine(ExecutionEngine):
                         worker=lane,
                     )
                 )
+                # Capture the retirement in the checkpoint manager NOW,
+                # before successors are published under the pool lock:
+                # until then no other task can replace the tiles this
+                # task wrote, so the captured references are exactly
+                # its outputs.
+                flush_due = checkpoint is not None and checkpoint.task_retired(
+                    task, data
+                )
                 with cond:
                     if self.debug:
                         self._release(state, task)
@@ -379,6 +438,11 @@ class ParallelExecutionEngine(ExecutionEngine):
                         if state.indegree[j] == 0:
                             scheduler.push(j, graph.tasks[j])
                     cond.notify_all()
+                if flush_due:
+                    # Single-writer inside flush(); concurrent callers
+                    # return immediately and the due flag persists, so
+                    # a skipped flush happens at the next retirement.
+                    checkpoint.flush(data)
 
         stop_watchdog = threading.Event()
 
@@ -386,7 +450,10 @@ class ParallelExecutionEngine(ExecutionEngine):
             poll = max(min(timeout / 5.0, 0.25), 0.005)
             while not stop_watchdog.wait(poll):
                 with cond:
-                    if state.failure is not None or state.completed == n:
+                    if (
+                        state.failure is not None
+                        or state.completed == state.target
+                    ):
                         return
                     idle = time.monotonic() - state.last_progress
                     if idle >= timeout:
@@ -394,7 +461,8 @@ class ParallelExecutionEngine(ExecutionEngine):
                             f"execution stalled: no task dispatched or "
                             f"retired in {idle:.3g}s "
                             f"(stall_timeout={timeout:.3g}s) with "
-                            f"{n - state.completed} of {n} tasks "
+                            f"{state.target - state.completed} of "
+                            f"{state.target} tasks "
                             f"outstanding [{self._lane_report(state)}]"
                         )
                         cond.notify_all()
@@ -429,9 +497,11 @@ class ParallelExecutionEngine(ExecutionEngine):
             while scheduler:
                 scheduler.pop()
             raise state.failure
-        if state.completed != n:  # pragma: no cover - defensive
+        if state.completed != state.target:  # pragma: no cover - defensive
             raise ValueError(
-                f"executed {state.completed} of {n} tasks; "
+                f"executed {state.completed} of {state.target} tasks; "
                 "graph has unsatisfiable dependencies"
             )
+        if verify and ledger is not None:
+            self._final_verify(data, ledger, checkpoint)
         return trace

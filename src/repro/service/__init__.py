@@ -26,6 +26,7 @@ from repro.service.cache import CacheEntry, OperatorCache
 from repro.service.errors import (
     BacklogFullError,
     CircuitOpenError,
+    CorruptResultError,
     DeadlineExpiredError,
     FactorizationFailedError,
     RequestFailedError,
@@ -56,4 +57,5 @@ __all__ = [
     "RequestFailedError",
     "FactorizationFailedError",
     "CircuitOpenError",
+    "CorruptResultError",
 ]

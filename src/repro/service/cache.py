@@ -17,13 +17,28 @@ Lookup outcomes, from cheapest to most expensive:
     only, still zero matgen/compression/factorization.
 ``miss``
     Full build via :meth:`OperatorSpec.build`.
+
+Disk entries are crash-safe: payloads are written atomically
+(temp + fsync + rename, via :func:`repro.linalg.serialization.save_tlr`)
+and sealed by a sidecar JSON manifest recording each file's size and
+BLAKE2b digest — written *last*, so a manifest on disk implies its
+payloads are complete.  Startup runs :meth:`OperatorCache.recover`:
+stray temp files are deleted and torn/corrupt entries are quarantined
+(renamed ``*.corrupt``) rather than trusted.  A reload that still
+fails — bit rot under a valid-looking manifest, a truncated legacy
+file — is caught, quarantined, counted (``disk_corrupt``), and falls
+through to a fresh build: the cache never serves a factor it cannot
+verify.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import threading
 import time
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -32,8 +47,22 @@ from repro.linalg.serialization import load_tlr, save_tlr
 from repro.linalg.tile_matrix import TLRMatrix
 from repro.service.metrics import ServiceMetrics
 from repro.service.spec import OperatorSpec
+from repro.utils.atomic import atomic_write_bytes
 
 __all__ = ["CacheEntry", "OperatorCache"]
+
+_MANIFEST_VERSION = 1
+
+#: Exceptions a corrupt/torn disk entry can surface as during reload.
+_DISK_CORRUPTION_ERRORS = (ValueError, OSError, KeyError, zipfile.BadZipFile)
+
+
+def _file_digest(path: Path) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
 
 
 @dataclass
@@ -112,6 +141,9 @@ class OperatorCache:
         self.misses = 0
         self.builds = 0
         self.evictions = 0
+        self.disk_corrupt = 0
+        if self.directory is not None:
+            self.recover()
 
     # ------------------------------------------------------------------
     # lookup
@@ -179,6 +211,10 @@ class OperatorCache:
             self.directory / f"{fp}.factor.npz",
         )
 
+    def _manifest_path(self, fp: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{fp}.manifest.json"
+
     def _persist(self, entry: CacheEntry) -> None:
         if self.directory is None:
             return
@@ -186,6 +222,40 @@ class OperatorCache:
         # uncompressed: warm reload speed matters more than disk bytes
         save_tlr(entry.operator, op_path, compressed=False)
         save_tlr(entry.factor, f_path, compressed=False)
+        # Manifest last: its presence certifies both payloads landed
+        # complete, so a crash between the writes leaves a pair that
+        # recover() treats as unsealed, never a sealed torn entry.
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "fingerprint": entry.fingerprint,
+            "files": {
+                p.name: {"bytes": p.stat().st_size, "blake2b": _file_digest(p)}
+                for p in (op_path, f_path)
+            },
+            "created_at": time.time(),
+        }
+        atomic_write_bytes(
+            self._manifest_path(entry.fingerprint),
+            json.dumps(manifest, indent=1).encode(),
+        )
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt file aside for post-mortem (best effort)."""
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+
+    def _quarantine_entry(self, fp: str) -> None:
+        op_path, f_path = self._paths(fp)
+        moved = 0
+        for p in (op_path, f_path, self._manifest_path(fp)):
+            if p.exists():
+                self._quarantine(p)
+                moved += 1
+        if moved:
+            self._count("disk_corrupt")
 
     def _load_from_disk(self, fp: str) -> CacheEntry | None:
         if self.directory is None:
@@ -193,11 +263,67 @@ class OperatorCache:
         op_path, f_path = self._paths(fp)
         if not (op_path.exists() and f_path.exists()):
             return None
-        entry = CacheEntry(
-            fingerprint=fp, operator=load_tlr(op_path), factor=load_tlr(f_path)
-        )
+        try:
+            # load_tlr re-verifies every tile against its embedded
+            # BLAKE2b checksum, so bit rot raises instead of loading.
+            entry = CacheEntry(
+                fingerprint=fp,
+                operator=load_tlr(op_path),
+                factor=load_tlr(f_path),
+            )
+        except _DISK_CORRUPTION_ERRORS:
+            # Torn, truncated, or rotten entry: quarantine it and fall
+            # through to a clean rebuild — never serve what we cannot
+            # verify, never crash the server over a bad disk file.
+            self._quarantine_entry(fp)
+            return None
         self._count("disk_hits")
         return entry
+
+    def recover(self) -> dict[str, int]:
+        """Startup scan of the persistence directory.
+
+        Deletes stray atomic-write temp files (a crash mid-rename),
+        validates every *sealed* entry (manifest present) against the
+        manifest's sizes and digests, and quarantines entries that
+        fail — a truncated payload, a missing file, a flipped bit, an
+        unreadable manifest.  Unsealed payload pairs (legacy entries
+        written before manifests existed) are left for lazy validation
+        at reload time via their embedded tile checksums.
+
+        Returns ``{"checked": ..., "quarantined": ..., "tmp_removed": ...}``.
+        """
+        if self.directory is None:
+            return {"checked": 0, "quarantined": 0, "tmp_removed": 0}
+        tmp_removed = 0
+        for tmp in self.directory.glob(".*.tmp"):
+            tmp.unlink(missing_ok=True)
+            tmp_removed += 1
+        checked = quarantined = 0
+        for manifest_path in sorted(self.directory.glob("*.manifest.json")):
+            checked += 1
+            fp = manifest_path.name[: -len(".manifest.json")]
+            try:
+                manifest = json.loads(manifest_path.read_text())
+                if manifest.get("version") != _MANIFEST_VERSION:
+                    raise ValueError("unsupported manifest version")
+                files = manifest["files"]
+                if not files:
+                    raise ValueError("manifest lists no files")
+                for name, meta in files.items():
+                    p = self.directory / name
+                    if p.stat().st_size != int(meta["bytes"]):
+                        raise ValueError(f"{name}: size mismatch")
+                    if _file_digest(p) != meta["blake2b"]:
+                        raise ValueError(f"{name}: digest mismatch")
+            except _DISK_CORRUPTION_ERRORS:
+                self._quarantine_entry(fp)
+                quarantined += 1
+        return {
+            "checked": checked,
+            "quarantined": quarantined,
+            "tmp_removed": tmp_removed,
+        }
 
     # ------------------------------------------------------------------
     # residency management
@@ -242,6 +368,19 @@ class OperatorCache:
         with self._lock:
             return fp in self._entries
 
+    def invalidate(self, fp: str) -> None:
+        """Drop one entry everywhere: resident copy out, disk copy
+        quarantined.  Used when a served result proves the entry is
+        corrupt — the next request rebuilds from scratch instead of
+        re-serving poison."""
+        with self._lock:
+            self._entries.pop(fp, None)
+            resident = self._resident_bytes_locked()
+        if self.directory is not None:
+            self._quarantine_entry(fp)
+        if self.metrics is not None:
+            self.metrics.set_bytes_resident(resident)
+
     def clear(self) -> None:
         """Drop resident entries (disk persistence is left intact)."""
         with self._lock:
@@ -259,6 +398,7 @@ class OperatorCache:
         "misses": "cache_misses",
         "builds": "cache_builds",
         "evictions": "cache_evictions",
+        "disk_corrupt": "cache_disk_corrupt",
     }
 
     def _count(self, name: str, delta: int = 1) -> None:
@@ -275,6 +415,7 @@ class OperatorCache:
                 "misses": self.misses,
                 "builds": self.builds,
                 "evictions": self.evictions,
+                "disk_corrupt": self.disk_corrupt,
                 "entries": len(self._entries),
                 "resident_bytes": self._resident_bytes_locked(),
             }

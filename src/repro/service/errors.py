@@ -15,6 +15,7 @@ __all__ = [
     "RequestFailedError",
     "FactorizationFailedError",
     "CircuitOpenError",
+    "CorruptResultError",
 ]
 
 
@@ -74,3 +75,24 @@ class CircuitOpenError(ServiceError):
     at the edge instead of burning a worker on every request; the
     breaker half-opens after its reset timeout to probe for recovery.
     """
+
+
+class CorruptResultError(ServiceError):
+    """A computed result contained non-finite values: corrupt factor.
+
+    The last line of defense against silent data corruption — a solve
+    or logdet that produces NaN/Inf from finite inputs means the cached
+    factor (or operator) is damaged.  The service fails the request
+    with this error, drops and quarantines the cache entry so the next
+    request triggers a clean rebuild, and never returns the poisoned
+    numbers.
+    """
+
+    def __init__(self, fingerprint: str, kind: str) -> None:
+        self.fingerprint = fingerprint
+        self.kind = kind
+        super().__init__(
+            f"{kind} result for operator {fingerprint[:12]} contained "
+            "non-finite values; cached factor is corrupt and has been "
+            "dropped for rebuild"
+        )

@@ -39,6 +39,7 @@ from repro.service.cache import CacheEntry, OperatorCache
 from repro.service.errors import (
     BacklogFullError,
     CircuitOpenError,
+    CorruptResultError,
     DeadlineExpiredError,
     FactorizationFailedError,
     RequestFailedError,
@@ -533,6 +534,14 @@ class SolveService:
             return entry
         raise AssertionError("unreachable")
 
+    def _condemn(self, entry: CacheEntry, kind: str) -> None:
+        """A finite-input request produced non-finite numbers: the
+        cached entry is corrupt.  Drop + quarantine it (next request
+        rebuilds) and fail this one loudly — never serve the poison."""
+        self.cache.invalidate(entry.fingerprint)
+        self.metrics.count("corrupt_results")
+        raise CorruptResultError(entry.fingerprint, kind)
+
     def _run_kind(self, live: list[Request], entry: CacheEntry, worker: int) -> None:
         from repro.core.solver import solve_cholesky
         from repro.linalg.matvec import refine_solve
@@ -541,6 +550,8 @@ class SolveService:
         t0 = self._now()
         if kind == "logdet":
             value = entry.logdet()
+            if not np.isfinite(value):
+                self._condemn(entry, kind)
             results = [value] * len(live)
             params: tuple[int, ...] = (len(live),)
         elif kind == "solve":
@@ -552,6 +563,8 @@ class SolveService:
                 x = refine_solve(entry.operator, entry.factor, block).x
             else:
                 x = solve_cholesky(entry.factor, block)
+            if not np.all(np.isfinite(x)):
+                self._condemn(entry, kind)
             if len(live) == 1:
                 results = [x]
             else:

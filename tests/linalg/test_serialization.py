@@ -65,6 +65,79 @@ class TestRoundtrip:
             load_tlr(path)
 
 
+class TestIntegrity:
+    """Atomic writes + embedded checksums (format v2 robustness)."""
+
+    def test_save_leaves_no_temp_files(self, sparse_tlr, tmp_path):
+        save_tlr(sparse_tlr, tmp_path / "a.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.npz"]
+
+    def test_corrupted_tile_payload_raises(self, sparse_tlr, tmp_path):
+        from repro.linalg.integrity import TileIntegrityError
+
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        key = next(k for k in arrays if k[0] in "du")
+        arr = arrays[key].copy()
+        arr.reshape(-1)[0] += 1e-13  # a "silent" corruption
+        arrays[key] = arr
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(TileIntegrityError, match="checksum mismatch"):
+            load_tlr(path)
+
+    def test_verify_false_skips_checksum_check(self, sparse_tlr, tmp_path):
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        key = next(k for k in arrays if k[0] in "du")
+        arr = arrays[key].copy()
+        arr.reshape(-1)[0] += 1e-13
+        arrays[key] = arr
+        np.savez_compressed(path, **arrays)
+        assert load_tlr(path, verify=False) is not None  # caller's risk
+
+    def test_v1_file_without_checksums_loads(self, sparse_tlr, tmp_path):
+        """Files written before the checksum block exist; they load
+        (unverified) rather than failing."""
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        del arrays["checksums"]
+        arrays["header"] = arrays["header"].copy()
+        arrays["header"][0] = 1
+        np.savez_compressed(path, **arrays)
+        back = load_tlr(path)
+        assert np.array_equal(back.to_dense(), sparse_tlr.to_dense())
+
+    def test_checksum_count_mismatch_raises(self, sparse_tlr, tmp_path):
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["checksums"] = arrays["checksums"][:-1]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="checksums"):
+            load_tlr(path)
+
+    def test_reload_preserves_memory_layout(self, sparse_tlr, tmp_path):
+        """Bitwise reproducibility across save/load requires the BLAS
+        input layout (C vs Fortran order) to survive the round-trip —
+        np.asarray on load, never np.ascontiguousarray."""
+        path = tmp_path / "a.npz"
+        save_tlr(sparse_tlr, path)
+        back = load_tlr(path)
+        for (m, k), tile in sparse_tlr:
+            if tile.kind is TileKind.LOW_RANK:
+                orig = tile.u
+                got = back.tile(m, k).u
+                assert orig.flags["F_CONTIGUOUS"] == got.flags["F_CONTIGUOUS"]
+                assert orig.flags["C_CONTIGUOUS"] == got.flags["C_CONTIGUOUS"]
+
+
 class TestFactorRoundtripSolve:
     """Cache-persistence contract of the serving subsystem: a factor
     saved and reloaded must solve to the same answer as the in-memory

@@ -1,0 +1,191 @@
+"""Checkpoint machinery: ledger, atomic manifests, recovery fallback.
+
+The persistence-layer half of the checkpoint/restart story — what ends
+up on disk, how corruption is detected at load, and how the loader
+falls back — separate from the engine-integration tests in
+``tests/core/test_checkpoint_resume.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.tlr_cholesky import tlr_cholesky
+from repro.linalg.integrity import tile_checksum
+from repro.linalg.tile import DenseTile
+from repro.linalg.tile_matrix import TLRMatrix
+from repro.runtime.checkpoint import (
+    CheckpointManager,
+    ChecksumLedger,
+    graph_signature,
+    load_checkpoint,
+)
+
+
+def spd_tlr(n=128, tile=32, accuracy=1e-10, seed=3):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    a = (q * np.linspace(1.0, 8.0, n)) @ q.T
+    return TLRMatrix.from_dense((a + a.T) / 2, tile, accuracy=accuracy)
+
+
+class TestChecksumLedger:
+    def test_record_and_match(self):
+        ledger = ChecksumLedger()
+        tile = DenseTile(np.eye(4))
+        ledger.record((0, 0), tile)
+        assert ledger.matches((0, 0), DenseTile(np.eye(4)))
+        assert not ledger.matches((0, 0), DenseTile(2 * np.eye(4)))
+
+    def test_unknown_key_passes(self):
+        """No recorded checksum means nothing to verify against."""
+        assert ChecksumLedger().matches((5, 5), DenseTile(np.eye(2)))
+
+    def test_seed_covers_every_tile(self):
+        a = spd_tlr()
+        ledger = ChecksumLedger()
+        ledger.seed(a)
+        assert set(ledger.keys()) == {key for key, _ in a}
+        for key, tile in a:
+            assert ledger.expected(key) == tile_checksum(tile)
+
+
+class TestCheckpointFiles:
+    @pytest.fixture()
+    def written(self, tmp_path):
+        """A real checkpointed factorization: (directory, result)."""
+        mgr = CheckpointManager(tmp_path, every_tasks=5, keep=10)
+        result = tlr_cholesky(spd_tlr(), checkpoint=mgr)
+        assert result.checkpoints_written > 0
+        return tmp_path, result
+
+    def test_manifest_and_payload_pair_per_checkpoint(self, written):
+        directory, result = written
+        manifests = sorted(directory.glob("ckpt-*.json"))
+        payloads = sorted(directory.glob("ckpt-*.npz"))
+        assert len(manifests) == result.checkpoints_written
+        assert [p.stem for p in manifests] == [p.stem for p in payloads]
+
+    def test_no_stray_temp_files(self, written):
+        directory, _ = written
+        assert not list(directory.glob(".*.tmp"))
+
+    def test_load_returns_newest(self, written):
+        directory, _ = written
+        ck = load_checkpoint(directory)
+        seqs = sorted(
+            int(p.stem.split("-")[1]) for p in directory.glob("ckpt-*.json")
+        )
+        assert ck is not None and ck.seq == seqs[-1]
+
+    def test_checkpoint_tiles_carry_valid_checksums(self, written):
+        directory, _ = written
+        ck = load_checkpoint(directory)
+        for key, tile in ck.tiles.items():
+            assert tile_checksum(tile) == ck.checksums[key]
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        assert load_checkpoint(tmp_path) is None
+        assert load_checkpoint(tmp_path / "does-not-exist") is None
+
+    def test_torn_payload_quarantined_and_falls_back(self, written):
+        """Truncating the newest payload must fall back to the previous
+        checkpoint and quarantine the torn files."""
+        directory, _ = written
+        manifests = sorted(directory.glob("ckpt-*.json"))
+        newest = manifests[-1]
+        payload = directory / (newest.stem + ".npz")
+        payload.write_bytes(payload.read_bytes()[:100])
+        ck = load_checkpoint(directory)
+        assert ck is not None
+        assert ck.seq == int(manifests[-2].stem.split("-")[1])
+        assert (directory / (newest.name + ".corrupt")).exists()
+        assert (directory / (payload.name + ".corrupt")).exists()
+
+    def test_flipped_payload_bit_detected(self, written):
+        directory, _ = written
+        manifests = sorted(directory.glob("ckpt-*.json"))
+        payload = directory / (manifests[-1].stem + ".npz")
+        raw = bytearray(payload.read_bytes())
+        raw[len(raw) // 2] ^= 0x10
+        payload.write_bytes(bytes(raw))
+        ck = load_checkpoint(directory)
+        # newest quarantined, fell back
+        assert ck is None or ck.seq < int(manifests[-1].stem.split("-")[1])
+
+    def test_unreadable_manifest_quarantined(self, written):
+        directory, _ = written
+        manifests = sorted(directory.glob("ckpt-*.json"))
+        manifests[-1].write_text("{not json")
+        ck = load_checkpoint(directory)
+        assert ck is not None  # fell back to an older one
+        assert (directory / (manifests[-1].name + ".corrupt")).exists()
+
+    def test_explicit_manifest_path_raises_on_corruption(self, written):
+        """A *specific* manifest must fail loudly, not silently restart."""
+        directory, _ = written
+        manifests = sorted(directory.glob("ckpt-*.json"))
+        payload = directory / (manifests[-1].stem + ".npz")
+        payload.write_bytes(b"garbage")
+        with pytest.raises(ValueError):
+            load_checkpoint(manifests[-1])
+
+    def test_keep_prunes_old_generations(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, every_tasks=3, keep=2)
+        tlr_cholesky(spd_tlr(), checkpoint=mgr)
+        assert len(list(tmp_path.glob("ckpt-*.json"))) <= 2
+        assert len(list(tmp_path.glob("ckpt-*.npz"))) <= 2
+        # and the survivors still load
+        assert load_checkpoint(tmp_path) is not None
+
+
+class TestManagerValidation:
+    def test_bad_cadence_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every_tasks=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every_tasks=None, every_seconds=None)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, every_seconds=-1.0, every_tasks=None)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_graph_signature_mismatch_refuses_resume(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, every_tasks=5)
+        tlr_cholesky(spd_tlr(), checkpoint=mgr)
+        # a different factorization (different size -> different graph)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            tlr_cholesky(spd_tlr(n=96, tile=32), resume_from=tmp_path)
+
+    def test_graph_signature_stability(self):
+        from repro.core.trimming import cholesky_tasks
+        from repro.runtime.dag import build_graph
+
+        g1 = build_graph(cholesky_tasks(4))
+        g2 = build_graph(cholesky_tasks(4))
+        g3 = build_graph(cholesky_tasks(5))
+        assert graph_signature(g1) == graph_signature(g2)
+        assert graph_signature(g1) != graph_signature(g3)
+
+    def test_sequence_numbers_continue_across_managers(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, every_tasks=5)
+        tlr_cholesky(spd_tlr(), checkpoint=mgr)
+        first = max(
+            int(p.stem.split("-")[1]) for p in tmp_path.glob("ckpt-*.json")
+        )
+        # a new manager (a restarted process) must not overwrite
+        mgr2 = CheckpointManager(tmp_path, every_tasks=5)
+        tlr_cholesky(spd_tlr(), checkpoint=mgr2, resume_from=tmp_path)
+        newest = max(
+            int(p.stem.split("-")[1]) for p in tmp_path.glob("ckpt-*.json")
+        )
+        assert newest >= first
+
+    def test_stats_shape(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, every_tasks=5)
+        tlr_cholesky(spd_tlr(), checkpoint=mgr)
+        stats = mgr.stats()
+        assert stats["checkpoints_written"] > 0
+        assert stats["completed_tasks"] > 0
+        assert stats["tiles_healed"] == 0

@@ -1,0 +1,200 @@
+"""Crash-safe cache persistence: sealing, recovery, quarantine.
+
+The disk tier of :class:`~repro.service.cache.OperatorCache` must never
+turn a torn or rotten file into a served answer.  Entries are sealed by
+a manifest written after the payloads; startup ``recover()`` validates
+sealed entries and quarantines failures; a reload that still blows up
+falls through to a rebuild and bumps ``disk_corrupt``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import CorruptResultError, OperatorCache, SolveService
+
+TIMEOUT = 60.0
+
+
+def _entry_files(cache, spec):
+    fp = spec.fingerprint
+    d = cache.directory
+    return (
+        d / f"{fp}.operator.npz",
+        d / f"{fp}.factor.npz",
+        d / f"{fp}.manifest.json",
+    )
+
+
+class TestSealing:
+    def test_persist_writes_manifest_with_digests(self, small_spec, tmp_path):
+        cache = OperatorCache(directory=tmp_path)
+        cache.get_or_build(small_spec)
+        op, fac, man = _entry_files(cache, small_spec)
+        assert op.exists() and fac.exists() and man.exists()
+        manifest = json.loads(man.read_text())
+        assert manifest["fingerprint"] == small_spec.fingerprint
+        for name, meta in manifest["files"].items():
+            p = tmp_path / name
+            assert p.stat().st_size == meta["bytes"]
+            assert len(meta["blake2b"]) == 32  # 128-bit hex digest
+
+    def test_no_stray_temp_files_after_persist(self, small_spec, tmp_path):
+        cache = OperatorCache(directory=tmp_path)
+        cache.get_or_build(small_spec)
+        assert not list(tmp_path.glob(".*.tmp"))
+
+
+class TestStartupRecovery:
+    def test_clean_directory_recovers_clean(self, small_spec, tmp_path):
+        OperatorCache(directory=tmp_path).get_or_build(small_spec)
+        report = OperatorCache(directory=tmp_path).recover()
+        assert report["checked"] >= 1
+        assert report["quarantined"] == 0
+
+    def test_stray_temp_files_removed(self, small_spec, tmp_path):
+        (tmp_path / ".abc123.tmp").write_bytes(b"half a write")
+        cache = OperatorCache(directory=tmp_path)
+        assert not (tmp_path / ".abc123.tmp").exists()
+
+    def test_torn_payload_quarantined_at_startup(self, small_spec, tmp_path):
+        first = OperatorCache(directory=tmp_path)
+        first.get_or_build(small_spec)
+        _, fac, man = _entry_files(first, small_spec)
+        fac.write_bytes(fac.read_bytes()[:200])  # torn write
+        second = OperatorCache(directory=tmp_path)
+        assert second.disk_corrupt == 1
+        assert not fac.exists() and not man.exists()
+        assert (tmp_path / (fac.name + ".corrupt")).exists()
+        # the poisoned entry rebuilds instead of loading
+        _, outcome = second.acquire(small_spec)
+        assert outcome == "build"
+
+    def test_flipped_bit_quarantined_at_startup(self, small_spec, tmp_path):
+        first = OperatorCache(directory=tmp_path)
+        first.get_or_build(small_spec)
+        _, fac, _ = _entry_files(first, small_spec)
+        raw = bytearray(fac.read_bytes())
+        raw[len(raw) // 2] ^= 0x04  # same size, different content
+        fac.write_bytes(bytes(raw))
+        second = OperatorCache(directory=tmp_path)
+        assert second.disk_corrupt == 1
+        _, outcome = second.acquire(small_spec)
+        assert outcome == "build"
+
+    def test_missing_payload_under_manifest_quarantined(
+        self, small_spec, tmp_path
+    ):
+        first = OperatorCache(directory=tmp_path)
+        first.get_or_build(small_spec)
+        op, _, _ = _entry_files(first, small_spec)
+        op.unlink()
+        second = OperatorCache(directory=tmp_path)
+        assert second.disk_corrupt == 1
+
+    def test_unreadable_manifest_quarantined(self, small_spec, tmp_path):
+        first = OperatorCache(directory=tmp_path)
+        first.get_or_build(small_spec)
+        _, _, man = _entry_files(first, small_spec)
+        man.write_text("{definitely not json")
+        second = OperatorCache(directory=tmp_path)
+        assert second.disk_corrupt == 1
+        assert (tmp_path / (man.name + ".corrupt")).exists()
+
+    def test_healthy_entry_survives_recovery_and_loads(
+        self, small_spec, tmp_path
+    ):
+        OperatorCache(directory=tmp_path).get_or_build(small_spec)
+        second = OperatorCache(directory=tmp_path)
+        _, outcome = second.acquire(small_spec)
+        assert outcome == "disk"
+        assert second.disk_corrupt == 0
+
+
+class TestLazyQuarantine:
+    def test_unsealed_corrupt_entry_rebuilds_on_acquire(
+        self, small_spec, tmp_path
+    ):
+        """Legacy entries (no manifest) skip the startup scan; the
+        embedded tile checksums still catch the corruption at reload
+        and the acquire falls through to a rebuild."""
+        first = OperatorCache(directory=tmp_path)
+        first.get_or_build(small_spec)
+        _, fac, man = _entry_files(first, small_spec)
+        man.unlink()  # make it look legacy/unsealed
+        with np.load(fac) as data:
+            arrays = {k: data[k] for k in data.files}
+        key = next(k for k in arrays if k[0] in "du")  # a tile payload
+        arr = arrays[key].copy()
+        arr.reshape(-1)[0] = np.nextafter(arr.reshape(-1)[0], np.inf)
+        arrays[key] = arr
+        np.savez(fac, **arrays)  # checksums block kept stale on purpose
+        second = OperatorCache(directory=tmp_path)
+        assert second.disk_corrupt == 0  # startup saw nothing sealed
+        entry, outcome = second.acquire(small_spec)
+        assert outcome == "build"
+        assert second.disk_corrupt == 1
+        assert (tmp_path / (fac.name + ".corrupt")).exists()
+        # the rebuilt entry is healthy
+        assert np.all(np.isfinite(entry.factor.to_dense()))
+
+    def test_invalidate_drops_memory_and_disk(self, small_spec, tmp_path):
+        cache = OperatorCache(directory=tmp_path)
+        cache.get_or_build(small_spec)
+        assert small_spec in cache
+        cache.invalidate(small_spec.fingerprint)
+        assert small_spec not in cache
+        op, fac, man = _entry_files(cache, small_spec)
+        assert not op.exists() and not fac.exists() and not man.exists()
+        _, outcome = cache.acquire(small_spec)
+        assert outcome == "build"
+
+    def test_disk_corrupt_counter_in_stats(self, small_spec, tmp_path):
+        cache = OperatorCache(directory=tmp_path)
+        cache.get_or_build(small_spec)
+        assert "disk_corrupt" in cache.stats()
+        assert cache.stats()["disk_corrupt"] == 0
+
+
+class TestNeverServeCorrupt:
+    def _poisoned_cache(self, spec):
+        """A cache whose resident factor for ``spec`` contains NaN."""
+        from repro.linalg.tile import DenseTile
+
+        cache = OperatorCache()
+        entry = cache.get_or_build(spec)
+        bad = entry.factor.tile(0, 0).to_dense().copy()
+        bad[0, 0] = np.nan
+        entry.factor.set_tile(0, 0, DenseTile(bad))
+        return cache
+
+    def test_nan_solve_raises_corrupt_result(self, small_spec, rhs):
+        cache = self._poisoned_cache(small_spec)
+        with SolveService(cache=cache, workers=1) as svc:
+            handle = svc.submit_solve(small_spec, rhs)
+            with pytest.raises(CorruptResultError):
+                handle.result(TIMEOUT)
+        # the poisoned entry was dropped, not kept for the next victim
+        assert small_spec not in cache
+        assert svc.metrics.to_dict()["counters"].get("corrupt_results", 0) == 1
+
+    def test_nan_logdet_raises_corrupt_result(self, small_spec):
+        cache = self._poisoned_cache(small_spec)
+        with SolveService(cache=cache, workers=1) as svc:
+            with pytest.raises(CorruptResultError):
+                svc.submit_logdet(small_spec).result(TIMEOUT)
+        assert small_spec not in cache
+
+    def test_rebuild_after_condemnation_serves_clean(self, small_spec, rhs):
+        from repro.core.solver import solve_cholesky
+
+        reference = solve_cholesky(
+            OperatorCache().get_or_build(small_spec).factor, rhs
+        )
+        cache = self._poisoned_cache(small_spec)
+        with SolveService(cache=cache, workers=1) as svc:
+            with pytest.raises(CorruptResultError):
+                svc.submit_solve(small_spec, rhs).result(TIMEOUT)
+            x = svc.submit_solve(small_spec, rhs).result(TIMEOUT)
+        assert np.allclose(x, reference, rtol=1e-12, atol=1e-12)

@@ -114,6 +114,59 @@ class TestCommands:
         assert result["batched"]["throughput_rps"] > 0
 
 
+class TestCheckpointFlags:
+    ARGS = ["factorize", "--viruses", "2", "--points-per-virus", "120",
+            "--tile-size", "60"]
+
+    def test_checkpoint_dir_writes_and_reports(self, capsys, tmp_path):
+        ck = tmp_path / "ck"
+        rc = main(self.ARGS + ["--checkpoint-dir", str(ck),
+                               "--checkpoint-every", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "checkpoints:" in out
+        assert list(ck.glob("ckpt-*.json"))
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        rc = main(self.ARGS + ["--resume"])
+        assert rc == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_empty_dir_starts_from_scratch(self, capsys, tmp_path):
+        rc = main(self.ARGS + ["--checkpoint-dir", str(tmp_path / "none"),
+                               "--resume"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "starting from scratch" in out
+        assert "residual" in out
+
+    def test_resume_replays_only_unfinished(self, capsys, tmp_path):
+        ck = tmp_path / "ck"
+        main(self.ARGS + ["--checkpoint-dir", str(ck),
+                          "--checkpoint-every", "1"])
+        capsys.readouterr()
+        rc = main(self.ARGS + ["--checkpoint-dir", str(ck), "--resume"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # cadence 1 checkpointed every task: the resume replays nothing
+        assert "0 written" not in out.split("checkpoints:")[0]
+        assert "tasks resumed" in out
+
+    def test_save_factor_roundtrips(self, capsys, tmp_path):
+        from repro.linalg.serialization import load_tlr
+
+        path = tmp_path / "factor.npz"
+        rc = main(self.ARGS + ["--save-factor", str(path)])
+        assert rc == 0
+        assert "factor written" in capsys.readouterr().out
+        assert load_tlr(path).n == 240
+
+    def test_verify_tiles_flag_accepted(self, capsys):
+        rc = main(self.ARGS + ["--verify-tiles"])
+        assert rc == 0
+        assert "residual" in capsys.readouterr().out
+
+
 class TestFaultInjectionFlags:
     def test_factorize_with_injected_faults_recovers(self, capsys):
         rc = main(
