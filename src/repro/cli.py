@@ -52,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--workers", type=int, default=None,
                    help="DAG worker threads (default $REPRO_WORKERS or "
                         "serial; 0 = one per core)")
+    f.add_argument("--engine", type=str, default=None,
+                   choices=["threads", "mp", "serial"],
+                   help="execution backend: 'threads' (GIL-bound glue, "
+                        "BLAS overlaps), 'mp' (shared-memory process "
+                        "pool, true parallelism), 'serial' (default "
+                        "$REPRO_ENGINE or threads); the factor is "
+                        "bitwise identical on all backends")
     f.add_argument("--seed", type=int, default=0)
     f.add_argument("--trace", type=str, default=None,
                    help="write a Chrome trace JSON of the execution "
@@ -132,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--factor-workers", type=int, default=None,
                     help="DAG worker threads for cache-miss "
                          "factorizations (0 = one per core)")
+    sv.add_argument("--factor-engine", type=str, default=None,
+                    choices=["threads", "mp", "serial"],
+                    help="execution backend for cache-miss "
+                         "factorizations (default $REPRO_ENGINE)")
     sv.add_argument("--backlog", type=int, default=256)
     sv.add_argument("--max-batch", type=int, default=16)
     sv.add_argument("--max-wait", type=float, default=0.005,
@@ -247,6 +258,7 @@ def _cmd_factorize(args) -> int:
             checkpoint=manager,
             resume_from=resume_from,
             verify_tiles=True if args.verify_tiles else None,
+            engine=args.engine,
         )
     except TaskFailedError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -384,6 +396,7 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_wait=args.max_wait,
         factor_workers=args.factor_workers,
+        factor_engine=args.factor_engine,
     ) as svc:
         handles = []
         for i in range(args.requests):

@@ -96,11 +96,13 @@ def hicma_parsec_factorize(
     scheduler: Scheduler | None = None,
     workers: int | None = None,
     shift_policy=None,
+    engine: str | None = None,
 ) -> FactorizationResult:
     """Numeric HiCMA-PaRSEC factorization: trimmed DAG.
 
     ``shift_policy`` enables escalating-diagonal-shift degradation for
-    borderline-SPD operators (see :func:`tlr_cholesky`).
+    borderline-SPD operators (see :func:`tlr_cholesky`); ``engine``
+    selects the execution backend (threads / mp / serial).
     """
     return tlr_cholesky(
         a,
@@ -108,4 +110,5 @@ def hicma_parsec_factorize(
         scheduler=scheduler,
         workers=workers,
         shift_policy=shift_policy,
+        engine=engine,
     )

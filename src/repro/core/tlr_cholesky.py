@@ -146,6 +146,7 @@ def tlr_cholesky(
     checkpoint: CheckpointManager | str | os.PathLike | None = None,
     resume_from: Checkpoint | str | os.PathLike | None = None,
     verify_tiles: bool | None = None,
+    engine: str | None = None,
 ) -> FactorizationResult:
     """Factorize a TLR matrix in place: ``A = L L^T``.
 
@@ -198,6 +199,12 @@ def tlr_cholesky(
         Per-kernel BLAKE2b operand verification + end-of-run sweep
         (default: ``$REPRO_VERIFY_TILES``); see
         :class:`~repro.runtime.engine.ExecutionEngine`.
+    engine:
+        Execution backend: ``"threads"`` (GIL-bound Python glue, BLAS
+        overlaps), ``"mp"`` (shared-memory process pool — true
+        parallelism), or ``"serial"``.  ``None`` defers to
+        ``$REPRO_ENGINE`` (else threads).  All backends produce
+        bitwise-identical factors.
 
     Raises
     ------
@@ -238,19 +245,23 @@ def tlr_cholesky(
         manager.bind(graph, a, resume=resume_from)
     setup = time.perf_counter() - t0
 
-    engine = engine_for(
+    eng = engine_for(
         workers,
         scheduler if scheduler is not None else PriorityScheduler(),
         fault_injector=fault_injector,
         retry=retry,
         verify_tiles=verify_tiles,
+        engine=engine,
     )
-    shifts: dict[int, float] = {}
+    # Engine-managed report dict: the process-pool backend mirrors
+    # worker-side writes (POTRF shifts happen in forked children) back
+    # into this same dict at task retirement.
+    shifts = eng.report_dict()
     register_cholesky_kernels(
-        engine, shift_policy=shift_policy, shift_report=shifts
+        eng, shift_policy=shift_policy, shift_report=shifts
     )
     t1 = time.perf_counter()
-    trace = engine.run(graph, a, checkpoint=manager)
+    trace = eng.run(graph, a, checkpoint=manager)
     execute = time.perf_counter() - t1
 
     return FactorizationResult(
@@ -261,7 +272,7 @@ def tlr_cholesky(
         setup_seconds=setup,
         execute_seconds=execute,
         diagonal_shifts=shifts,
-        retries=engine.last_run_retries,
+        retries=eng.last_run_retries,
         resumed_tasks=manager.resumed_tasks if manager is not None else 0,
         checkpoints_written=(
             manager.checkpoints_written if manager is not None else 0

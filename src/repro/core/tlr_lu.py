@@ -146,20 +146,25 @@ class LUFactorizationResult:
 
 
 def tlr_lu(
-    a: GeneralTLRMatrix, trim: bool = True, workers: int | None = None
+    a: GeneralTLRMatrix,
+    trim: bool = True,
+    workers: int | None = None,
+    engine: str | None = None,
 ) -> LUFactorizationResult:
     """Factorize ``A = L U`` in place over the runtime engine.
 
-    ``workers`` follows the same convention as
-    :func:`~repro.core.tlr_cholesky.tlr_cholesky`: ``None`` defers to
-    ``$REPRO_WORKERS`` (else serial), ``<= 0`` means one per core.
+    ``workers`` and ``engine`` follow the same conventions as
+    :func:`~repro.core.tlr_cholesky.tlr_cholesky`: ``workers=None``
+    defers to ``$REPRO_WORKERS`` (else serial), ``<= 0`` means one per
+    core; ``engine=None`` defers to ``$REPRO_ENGINE`` (``"threads"``,
+    ``"mp"``, or ``"serial"``).
     """
     t0 = time.perf_counter()
     nt = a.n_tiles
     analysis = analyze_ranks_lu(a.rank_matrix(), nt) if trim else None
     graph = build_graph(lu_tasks(nt, analysis))
 
-    engine = engine_for(workers, PriorityScheduler())
+    eng = engine_for(workers, PriorityScheduler(), engine=engine)
 
     def k_getrf(task: Task, m: GeneralTLRMatrix) -> None:
         (k,) = task.params
@@ -187,11 +192,11 @@ def tlr_lu(
             ),
         )
 
-    engine.register("GETRF", k_getrf)
-    engine.register("TRSM_L", k_trsm_l)
-    engine.register("TRSM_U", k_trsm_u)
-    engine.register("GEMM", k_gemm)
-    trace = engine.run(graph, a)
+    eng.register("GETRF", k_getrf)
+    eng.register("TRSM_L", k_trsm_l)
+    eng.register("TRSM_U", k_trsm_u)
+    eng.register("GEMM", k_gemm)
+    trace = eng.run(graph, a)
     return LUFactorizationResult(
         factor=a,
         graph=graph,

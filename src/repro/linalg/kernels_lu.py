@@ -75,11 +75,13 @@ def trsm_l_tile(lu_kk: DenseTile, a_mk: Tile) -> Tile:
     if isinstance(a_mk, NullTile):
         return a_mk
     if isinstance(a_mk, LowRankTile):
-        # (Ua Va^T) U^-1 = Ua (U^-T Va)^T
+        # (Ua Va^T) U^-1 = Ua (U^-T Va)^T.  The untouched U factor is
+        # shared, not copied (immutable-tile contract; see
+        # kernels_tlr.trsm_tile).
         new_v = sla.solve_triangular(
             u, a_mk.v, lower=False, trans="T", check_finite=False
         )
-        return LowRankTile(LowRankFactor(a_mk.u.copy(), new_v))
+        return LowRankTile(LowRankFactor(a_mk.u, new_v))
     out = sla.solve_triangular(
         u, a_mk.data.T, lower=False, trans="T", check_finite=False
     ).T
@@ -96,7 +98,7 @@ def trsm_u_tile(lu_kk: DenseTile, a_kn: Tile) -> Tile:
             l_full, a_kn.u, lower=True, trans="N", unit_diagonal=True,
             check_finite=False,
         )
-        return LowRankTile(LowRankFactor(new_u, a_kn.v.copy()))
+        return LowRankTile(LowRankFactor(new_u, a_kn.v))
     out = sla.solve_triangular(
         l_full, a_kn.data, lower=True, trans="N", unit_diagonal=True,
         check_finite=False,
@@ -110,16 +112,18 @@ def _product(a: Tile, b: Tile) -> LowRankFactor | np.ndarray | None:
         return None
     a_lr = isinstance(a, LowRankTile)
     b_lr = isinstance(b, LowRankTile)
+    # Untouched factors are shared with the operand tiles, not copied
+    # (immutable-tile contract; see kernels_tlr.trsm_tile).
     if a_lr and b_lr:
         w = a.v.T @ b.u  # ka x kb
         if a.rank <= b.rank:
-            return LowRankFactor(a.u.copy(), b.v @ w.T)
-        return LowRankFactor(a.u @ w, b.v.copy())
+            return LowRankFactor(a.u, b.v @ w.T)
+        return LowRankFactor(a.u @ w, b.v)
     if a_lr:
         # Ua Va^T B = Ua (B^T Va)^T
-        return LowRankFactor(a.u.copy(), b.data.T @ a.v)
+        return LowRankFactor(a.u, b.data.T @ a.v)
     if b_lr:
-        return LowRankFactor(a.data @ b.u, b.v.copy())
+        return LowRankFactor(a.data @ b.u, b.v)
     return a.data @ b.data
 
 

@@ -68,10 +68,15 @@ def trsm_tile(l_kk: DenseTile, a_mk: Tile) -> Tile:
         return a_mk
     if isinstance(a_mk, LowRankTile):
         # (U V^T) L^-T = U (L^-1 V)^T : solve L X = V for the new V.
+        # The untouched U factor is *shared* with the operand tile, not
+        # copied: tiles are immutable (kernels build new tiles, never
+        # mutate arrays in place), so aliasing is safe, and a copy
+        # would also normalize the memory order — breaking bitwise
+        # reproducibility for arena-backed (possibly F-ordered) views.
         new_v = sla.solve_triangular(
             l_kk.data, a_mk.v, lower=True, trans="N", check_finite=False
         )
-        return LowRankTile(LowRankFactor(a_mk.u.copy(), new_v))
+        return LowRankTile(LowRankFactor(a_mk.u, new_v))
     new = sla.solve_triangular(
         l_kk.data, a_mk.data.T, lower=True, trans="N", check_finite=False
     ).T
@@ -101,17 +106,19 @@ def _product_factor(a: Tile, b: Tile) -> LowRankFactor | np.ndarray | None:
         return None
     a_lr = isinstance(a, LowRankTile)
     b_lr = isinstance(b, LowRankTile)
+    # Untouched factors are shared with the operand tiles, not copied
+    # (immutable-tile contract; see trsm_tile).
     if a_lr and b_lr:
         w = a.v.T @ b.v  # ka x kb
         if a.rank <= b.rank:
-            return LowRankFactor(a.u.copy(), b.u @ w.T)
-        return LowRankFactor(a.u @ w, b.u.copy())
+            return LowRankFactor(a.u, b.u @ w.T)
+        return LowRankFactor(a.u @ w, b.u)
     if a_lr:
         # Ua Va^T B^T = Ua (B Va)^T
-        return LowRankFactor(a.u.copy(), b.data @ a.v)
+        return LowRankFactor(a.u, b.data @ a.v)
     if b_lr:
         # A (Ub Vb^T)^T = (A Vb) Ub^T
-        return LowRankFactor(a.data @ b.v, b.u.copy())
+        return LowRankFactor(a.data @ b.v, b.u)
     return a.data @ b.data.T
 
 

@@ -27,6 +27,13 @@ class LowRankFactor:
     ``u`` has shape ``(m, k)`` and ``v`` has shape ``(n, k)`` with
     ``k >= 1``; rank-0 blocks are represented by ``None`` elsewhere,
     never by an empty factor.
+
+    The arrays are stored as given — **no defensive copy, no layout
+    normalization** — so factors can wrap views over external buffers
+    (e.g. the shared-memory tile arena) for free.  The flip side is an
+    immutability contract: holders must never mutate ``u``/``v`` in
+    place, and kernels that reuse an operand's factor share it rather
+    than copying.
     """
 
     u: np.ndarray

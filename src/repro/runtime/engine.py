@@ -87,6 +87,22 @@ class ExecutionEngine:
         #: tasks skipped by the checkpoint frontier on the last run
         self.last_run_resumed = 0
         self._kernels: dict[str, Kernel] = {}
+        #: out-of-band result dicts (see :meth:`report_dict`)
+        self._reports: list[dict] = []
+
+    def report_dict(self) -> dict:
+        """A dict kernels may write side-channel results into.
+
+        On the in-process engines this is a plain dict (kernels mutate
+        it directly, e.g. the POTRF diagonal-shift report).  The
+        process-pool engine overrides nothing here but *mirrors*
+        worker-side writes back into the same registered dict, so
+        drivers can stay engine-agnostic: always obtain report dicts
+        through this method instead of creating literals.
+        """
+        d: dict = {}
+        self._reports.append(d)
+        return d
 
     def register(self, klass: str, kernel: Kernel) -> None:
         """Bind a task class name to its computational kernel."""
@@ -188,9 +204,14 @@ class ExecutionEngine:
             kernel(task, data)
             return 0
         retry = self.retry if self.retry is not None else _NO_RETRY
+        # Snapshot only when a rollback can actually be replayed: with
+        # retry disabled the first transient failure is terminal
+        # (TaskFailedError, factor discarded), so pre-attempt snapshots
+        # would be pure overhead on every clean dispatch.
+        rollback = retry.max_retries > 0
         attempt = 0
         while True:
-            snapshot = snapshot_writes(task, data)
+            snapshot = snapshot_writes(task, data) if rollback else None
             try:
                 if verify and ledger is not None:
                     self._verify_reads(task, data, ledger, checkpoint)

@@ -105,6 +105,30 @@ class TaskFailedError(RuntimeError):
             f"task {task} failed after {attempts} attempt(s): {cause}"
         )
 
+    def __reduce__(self):
+        # __init__ takes a Task but the instance keeps only its string
+        # form, so the default exception reduce (cls, self.args) cannot
+        # reconstruct one.  The process-pool engine ships these through
+        # a result queue, so pickling must round-trip with `.cause`
+        # intact (the coordinator's heal path inspects it).
+        return (
+            _rebuild_task_failed,
+            (self.task, self.klass, self.params, self.attempts, self.cause),
+        )
+
+
+def _rebuild_task_failed(task, klass, params, attempts, cause):
+    exc = TaskFailedError.__new__(TaskFailedError)
+    exc.task = task
+    exc.klass = klass
+    exc.params = tuple(params)
+    exc.attempts = attempts
+    exc.cause = cause
+    RuntimeError.__init__(
+        exc, f"task {task} failed after {attempts} attempt(s): {cause}"
+    )
+    return exc
+
 
 # ----------------------------------------------------------------------
 # fault plans
@@ -255,6 +279,14 @@ class FaultInjector:
         self.plan = plan
         self.hard_crash = bool(hard_crash)
         self.counters: Counter[str] = Counter()
+        #: tile keys the most recent ``invoke`` bitflipped — consumers
+        #: (the mp engine's post-kernel operand re-check) use it to
+        #: tell the task's *own* post-kernel at-rest flips (outputs
+        #: valid, later readers' problem) from a concurrent task's
+        #: flip that may have raced the kernel's reads.  Meaningful
+        #: only where one invoke runs at a time per injector copy
+        #: (forked workers); the threaded engine never reads it.
+        self.flipped_reads: list[tuple[int, int]] = []
         self._lock = threading.Lock()
 
     def _count(self, kind: str, klass: str) -> None:
@@ -271,6 +303,7 @@ class FaultInjector:
         attempt: int = 0,
     ) -> None:
         faults = self.plan.decide(task, attempt)
+        self.flipped_reads = []
         for rule in faults:
             if rule.kind == "delay":
                 self._count("delay", task.klass)
@@ -301,10 +334,11 @@ class FaultInjector:
         for rule in faults:
             # deliberately silent on success: the whole point of the
             # bitflip kind is that only checksum verification sees it
-            if rule.kind == "bitflip" and self._bitflip_one_read(
-                task, data, attempt
-            ):
-                self._count("bitflip", task.klass)
+            if rule.kind == "bitflip":
+                flipped = self._bitflip_one_read(task, data, attempt)
+                if flipped is not None:
+                    self.flipped_reads.append(flipped)
+                    self._count("bitflip", task.klass)
 
     @staticmethod
     def _corrupt_one_write(task: Task, data: object) -> bool:
@@ -321,7 +355,9 @@ class FaultInjector:
         data.set_tile(m, k, DenseTile(np.full(shape, np.nan)))
         return True
 
-    def _bitflip_one_read(self, task: Task, data: object, attempt: int) -> bool:
+    def _bitflip_one_read(
+        self, task: Task, data: object, attempt: int
+    ) -> tuple[int, int] | None:
         """Flip one bit in one element of a tile the task only reads.
 
         Pure-read tiles are already-finalized outputs of earlier tasks
@@ -331,14 +367,15 @@ class FaultInjector:
         end-of-run sweep — is the only defense.  The perturbed tile is
         *republished* via ``set_tile`` (a fresh array), honoring the
         kernels' no-in-place-mutation convention; deterministic in
-        ``(seed, task, attempt)`` like every other decision.
+        ``(seed, task, attempt)`` like every other decision.  Returns
+        the flipped tile's key, or ``None`` if nothing was flipped.
         """
         if not hasattr(data, "tile") or not hasattr(data, "set_tile"):
-            return False
+            return None
         written = set(task.writes)
         read_only = sorted(set(task.reads) - written)
         if not read_only:
-            return False
+            return None
         import numpy as np
 
         from repro.linalg.lowrank import LowRankFactor
@@ -364,8 +401,8 @@ class FaultInjector:
             )
             data.set_tile(m, k, DenseTile(d))
         else:  # null tiles store no payload to corrupt
-            return False
-        return True
+            return None
+        return (m, k)
 
 
 # ----------------------------------------------------------------------

@@ -46,6 +46,7 @@ from repro.runtime.tracing import Trace, TraceEvent
 __all__ = [
     "ParallelExecutionEngine",
     "resolve_workers",
+    "resolve_engine",
     "engine_for",
     "stall_timeout_from_env",
 ]
@@ -61,6 +62,23 @@ DEBUG_ENV = "REPRO_ENGINE_DEBUG"
 #: Environment variable supplying the default stall-watchdog timeout in
 #: seconds (unset / empty / 0 disables the watchdog).
 STALL_TIMEOUT_ENV = "REPRO_STALL_TIMEOUT"
+
+#: Environment variable selecting the execution backend ("threads",
+#: "mp", or "serial"); the CI mp smoke job sweeps the core suite with
+#: REPRO_ENGINE=mp without touching call sites.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Accepted backend names (with aliases) -> canonical form.
+_ENGINE_ALIASES = {
+    "threads": "threads",
+    "thread": "threads",
+    "threaded": "threads",
+    "mp": "mp",
+    "process": "mp",
+    "processes": "mp",
+    "multiprocess": "mp",
+    "serial": "serial",
+}
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -98,26 +116,63 @@ def stall_timeout_from_env() -> float | None:
     return timeout if timeout > 0.0 else None
 
 
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve a backend name: explicit value > $REPRO_ENGINE > threads.
+
+    Returns one of ``"threads"``, ``"mp"``, ``"serial"`` (aliases like
+    ``"process"`` normalize); raises ``ValueError`` on anything else.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV, "").strip() or "threads"
+    canonical = _ENGINE_ALIASES.get(str(engine).strip().lower())
+    if canonical is None:
+        raise ValueError(
+            f"unknown execution backend {engine!r}; expected one of "
+            f"{sorted(set(_ENGINE_ALIASES.values()))} "
+            f"(aliases: {sorted(_ENGINE_ALIASES)})"
+        )
+    return canonical
+
+
 def engine_for(
     workers: int | None,
     scheduler: Scheduler | None = None,
     fault_injector: FaultInjector | None = None,
     retry: RetryPolicy | None = None,
     verify_tiles: bool | None = None,
+    engine: str | None = None,
 ) -> ExecutionEngine:
-    """The cheapest engine that honours ``workers``.
+    """The cheapest engine that honours ``workers`` and ``engine``.
 
     One worker gets the serial :class:`ExecutionEngine` (no locks, no
-    threads); more get a :class:`ParallelExecutionEngine`.  Fault
-    injection, retry policy, and checksum verification are threaded
-    into either.
+    threads); more get a :class:`ParallelExecutionEngine` (GIL-bound
+    Python glue, BLAS overlaps) or, with ``engine="mp"`` /
+    ``$REPRO_ENGINE=mp``, the shared-memory
+    :class:`~repro.runtime.parallel_mp.MultiprocessExecutionEngine`.
+    ``engine="serial"`` forces the serial engine at any worker count.
+    Fault injection, retry policy, and checksum verification are
+    threaded into all of them.
     """
     n = resolve_workers(workers)
-    if n <= 1:
+    backend = resolve_engine(engine)
+    if n <= 1 or backend == "serial":
         return ExecutionEngine(
             scheduler,
             fault_injector=fault_injector,
             retry=retry,
+            verify_tiles=verify_tiles,
+        )
+    if backend == "mp":
+        # Imported lazily: parallel_mp pulls in multiprocessing and
+        # the arena, neither of which the threaded path needs.
+        from repro.runtime.parallel_mp import MultiprocessExecutionEngine
+
+        return MultiprocessExecutionEngine(
+            scheduler,
+            workers=n,
+            fault_injector=fault_injector,
+            retry=retry,
+            stall_timeout=stall_timeout_from_env(),
             verify_tiles=verify_tiles,
         )
     return ParallelExecutionEngine(

@@ -1,0 +1,589 @@
+"""True-parallel process-pool execution of a task graph.
+
+``ParallelExecutionEngine`` (threads) loses most of the hardware on
+real numerics: the Python glue between BLAS calls — tile dispatch,
+recompression bookkeeping, trace records — serializes on the GIL
+(BENCH_parallel.json: 5.8x replayed vs 1.3x real at 8 workers).  This
+module replaces threads with *processes*, the asynchronous-runtime
+model of the fan-both Cholesky solvers: one-sided, message-driven task
+execution with no global lock.
+
+Architecture
+------------
+
+* **Tile arena** — all tile payloads live in
+  :class:`~repro.linalg.arena.TileArena` shared-memory segments,
+  created by the coordinator before forking.  Workers map the same
+  physical pages; task messages carry ``(task index, expected operand
+  checksums)`` — kernel id and tile keys, never tile payloads.
+* **Workers** — forked processes inheriting the registered kernels and
+  the task graph (closures need no pickling under ``fork``).  Each
+  loops: pull a task index from the shared task queue, run the kernel
+  against arena-backed tile views (fault injection, retry with
+  arena-byte rollback, and operand checksum verification all happen
+  *in the worker*), and send a small retirement message back.
+* **Coordinator** — keeps the exact CV-driven ready-pool discipline of
+  the threaded engine: the scheduler policy orders the ready pool, and
+  at most one task per idle worker is in the queue, so priority order
+  is respected.  On retirement it materializes the task's written
+  tiles out of the arena into the caller's matrix (a private copy,
+  immune to later in-place slot rewrites), records checksums, feeds
+  the checkpoint manager, releases successors, and dispatches.
+
+Invariants preserved from the threaded engine:
+
+* **bitwise-identical factors** at any worker count — arena copy-in /
+  views / copy-out all preserve memory order (C vs Fortran), so every
+  kernel sees byte- and layout-identical operands to the serial run;
+* **per-task retry with tile-snapshot rollback** — worker-side, as
+  byte snapshots of the slots a task writes (arena slots are rewritten
+  in place, so reference snapshots would alias);
+* **fault injection** — the plan is a pure function of
+  ``(seed, rule, task, attempt)``, so worker-side decisions replay the
+  serial sequence exactly; counters are merged back per retirement;
+* **checkpoint capture** and **ABFT checksum verification** — operand
+  digests ride along with the task message; a corrupt operand fails
+  the task in the worker, and the coordinator heals the arena from the
+  checkpoint's last-known-good tile and re-dispatches;
+* a worker hard-crash (``os._exit(137)`` fault kind) takes the
+  coordinator down with the same exit code — SIGKILL semantics — after
+  unlinking the shared segments, so recovery flows through the
+  checkpoint/restart layer just like the in-process engines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+
+from repro.runtime.checkpoint import CheckpointManager
+from repro.runtime.dag import TaskGraph
+from repro.runtime.engine import ExecutionEngine, _NO_RETRY
+from repro.runtime.faults import (
+    FaultInjector,
+    RetryPolicy,
+    TaskFailedError,
+    TileCorruptionError,
+    restore_writes,
+    snapshot_writes,
+)
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import Task
+from repro.runtime.tracing import Trace, TraceEvent
+
+__all__ = ["MultiprocessExecutionEngine", "WorkerCrashError"]
+
+#: coordinator poll granularity while waiting on retirements
+_POLL_SECONDS = 0.05
+
+#: heal-and-redispatch budget per task (checksum-verified runs)
+_MAX_HEALS_PER_TASK = 2
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without sending a retirement message."""
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """``exc`` if it round-trips through pickle, else a summary."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+class MultiprocessExecutionEngine(ExecutionEngine):
+    """Executes a task graph with ``workers`` forked processes.
+
+    Requires the ``fork`` start method (POSIX): kernels are inherited,
+    not pickled, and the tile arena's handles ride through the fork.
+    Construction raises :class:`RuntimeError` elsewhere — callers can
+    fall back to the threaded engine.
+
+    Data stores with tile accessors (``tile``/``set_tile``/iteration —
+    :class:`~repro.linalg.tile_matrix.TLRMatrix` and friends) are
+    shared through the arena and written back tile-by-tile as tasks
+    retire.  Stores without them (e.g. ``None`` for replay benchmarks)
+    are simply inherited by each worker: kernels run true-parallel but
+    worker-side writes to such a store stay process-local.
+
+    Parameters mirror :class:`~repro.runtime.parallel.
+    ParallelExecutionEngine`; ``spill_factor`` additionally scales the
+    arena's over-cap spill region (default ``$REPRO_ARENA_SPILL`` or
+    1.5x the all-dense payload size).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        workers: int = 2,
+        fault_injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        stall_timeout: float | None = None,
+        verify_tiles: bool | None = None,
+        spill_factor: float | None = None,
+    ) -> None:
+        super().__init__(
+            scheduler,
+            fault_injector=fault_injector,
+            retry=retry,
+            verify_tiles=verify_tiles,
+        )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if stall_timeout is not None and stall_timeout <= 0.0:
+            raise ValueError(
+                f"stall_timeout must be positive or None, got {stall_timeout}"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "MultiprocessExecutionEngine needs the 'fork' start method "
+                "(POSIX); use the threaded ParallelExecutionEngine here"
+            )
+        self.workers = int(workers)
+        self.stall_timeout = stall_timeout
+        self.spill_factor = spill_factor
+        #: lane -> OS pid of the worker that ran it (filled per run)
+        self.worker_pids: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+
+    def _verify_reads_worker(
+        self,
+        task: Task,
+        store,
+        expected: dict,
+        read_only: bool = False,
+        skip: set | None = None,
+    ) -> None:
+        """Operand checksum verification against coordinator digests.
+
+        ``read_only`` restricts the sweep to pure-read tiles — the
+        post-kernel re-check must skip read-write slots, which
+        legitimately hold the kernel's new bytes.  ``skip`` drops
+        specific keys (the task's own injected at-rest flips).
+        """
+        from repro.linalg.integrity import tile_checksum
+
+        keys = set(task.reads)
+        if read_only:
+            keys -= set(task.writes)
+        if skip:
+            keys -= skip
+        for key in sorted(keys):
+            want = expected.get(key)
+            if want is None:
+                continue
+            if tile_checksum(store.tile(*key)) != want:
+                raise TileCorruptionError(
+                    f"{task}: operand tile {key} failed checksum "
+                    "verification in worker — silent data corruption "
+                    "detected before the kernel consumed it"
+                )
+
+    def _dispatch_worker(
+        self, task: Task, kernel, store, arena, expected: dict | None
+    ) -> int:
+        """Worker-side analogue of :meth:`ExecutionEngine._dispatch`.
+
+        Differs in two ways: rollback snapshots are *byte* snapshots of
+        the arena slots the task writes (slots are rewritten in place,
+        so tile references would alias the very bytes a retry must
+        restore), and operand verification compares against the digests
+        the coordinator attached to the task message (healing is the
+        coordinator's job, on re-dispatch).
+        """
+        injector = self.fault_injector
+        verify = expected is not None
+        if injector is None and self.retry is None and not verify:
+            kernel(task, store)
+            return 0
+        retry = self.retry if self.retry is not None else _NO_RETRY
+        rollback = retry.max_retries > 0
+        attempt = 0
+        while True:
+            if rollback:
+                snapshot = (
+                    arena.snapshot(task.writes)
+                    if arena is not None
+                    else snapshot_writes(task, store)
+                )
+            else:
+                snapshot = None
+            try:
+                if verify:
+                    self._verify_reads_worker(task, store, expected)
+                if injector is not None:
+                    injector.invoke(kernel, task, store, attempt)
+                else:
+                    kernel(task, store)
+                if verify:
+                    # Arena slots are rewritten in place, so an at-rest
+                    # flip landing *during* the kernel mutates bytes a
+                    # view-holding kernel may already have consumed —
+                    # unlike the in-process engines, where concurrent
+                    # readers keep the old tile object.  Re-verifying
+                    # after the kernel closes that window: any flip
+                    # that could have reached the kernel's reads
+                    # happened before this check and fails the task,
+                    # so retirement certifies clean operands end to
+                    # end.  Skipped: read-write slots (they hold the
+                    # kernel's new bytes by design) and the task's own
+                    # injected flips (applied after the kernel
+                    # returned — the outputs are valid, and a later
+                    # reader's pre-check is the intended detector;
+                    # re-failing here would re-inject on every
+                    # redispatch and starve the heal budget).
+                    own_flips = (
+                        set(injector.flipped_reads) if injector else None
+                    )
+                    self._verify_reads_worker(
+                        task, store, expected, read_only=True, skip=own_flips
+                    )
+                return attempt
+            except retry.retry_on as exc:
+                if snapshot is not None:
+                    if arena is not None:
+                        arena.restore(snapshot)
+                    else:
+                        restore_writes(task, store, snapshot)
+                if attempt >= retry.max_retries:
+                    raise TaskFailedError(task, attempt + 1, exc) from exc
+                pause = retry.delay(attempt)
+                if pause > 0.0:
+                    time.sleep(pause)
+                attempt += 1
+
+    def _worker_main(self, lane, graph, data, arena, task_q, result_q) -> None:
+        """Worker process body: serve tasks until the ``None`` sentinel."""
+        store = arena if arena is not None else data
+        injector = self.fault_injector
+        while True:
+            msg = task_q.get()
+            if msg is None:
+                return
+            idx, expected = msg
+            task = graph.tasks[idx]
+            kernel = self._kernels[task.klass]
+            counter_base = dict(injector.counters) if injector else None
+            report_base = [set(r) for r in self._reports]
+            start = time.perf_counter()
+            try:
+                attempts = self._dispatch_worker(
+                    task, kernel, store, arena, expected
+                )
+            except BaseException as exc:
+                result_q.put((lane, idx, None, _picklable(exc), None, None, 0.0, 0.0))
+                continue
+            end = time.perf_counter()
+            counters = None
+            if injector is not None:
+                counters = {
+                    key: count - counter_base.get(key, 0)
+                    for key, count in injector.counters.items()
+                    if count != counter_base.get(key, 0)
+                }
+            reports = [
+                {key: r[key] for key in r.keys() - base} or None
+                for r, base in zip(self._reports, report_base)
+            ]
+            result_q.put(
+                (lane, idx, attempts, None, counters, reports, start, end)
+            )
+
+    # ------------------------------------------------------------------
+    # coordinator side
+    # ------------------------------------------------------------------
+
+    def _expected_for(self, task: Task, ledger) -> dict | None:
+        if ledger is None:
+            return None
+        expected = {}
+        for key in set(task.reads):
+            digest = ledger.expected(key)
+            if digest is not None:
+                expected[key] = digest
+        return expected
+
+    def _retire_writes(self, task: Task, arena, data, ledger) -> None:
+        """Materialize a retired task's outputs out of the arena.
+
+        The copies are private heap tiles: later in-place rewrites of
+        the arena slots cannot touch them, so they are safe references
+        for the checkpoint manager, the ledger, and the final factor.
+        """
+        if arena is None:
+            return
+        for key in set(task.writes):
+            tile = arena.materialize(*key)
+            data.set_tile(*key, tile)
+            if ledger is not None:
+                ledger.record(key, tile)
+
+    def _heal_operands(
+        self, task: Task, arena, data, ledger, checkpoint
+    ) -> int:
+        """Restore corrupt operand slots from last-known-good tiles.
+
+        Returns the number of tiles healed; 0 means the corruption is
+        unhealable and the failure must surface.
+        """
+        if arena is None or ledger is None or checkpoint is None:
+            return 0
+        healed = 0
+        for key in sorted(set(task.reads)):
+            if ledger.matches(key, arena.tile(*key)):
+                continue
+            if not checkpoint.heal(data, key):
+                return 0
+            good = data.tile(*key)
+            if not ledger.matches(key, good):
+                return 0
+            arena.set_tile(*key, good)
+            healed += 1
+        return healed
+
+    def run(
+        self,
+        graph: TaskGraph,
+        data: object,
+        trace: Trace | None = None,
+        checkpoint: CheckpointManager | None = None,
+    ) -> Trace:
+        """Execute every task across the worker processes.
+
+        Same contract as the threaded engine: fail-fast on the first
+        kernel exception, ``KeyError`` for unregistered task classes,
+        diagnostic ``ValueError`` on stalls, checkpoint frontiers
+        skipped and flushed on cadence.  Additionally raises
+        :class:`WorkerCrashError` if a worker process dies silently —
+        except exit code 137 (the injected hard crash), which the
+        coordinator mirrors.
+        """
+        if trace is None:
+            trace = Trace()
+        self.last_run_retries = 0
+        self.last_run_resumed = 0
+        self.worker_pids = {}
+        n = len(graph)
+        if n == 0:
+            return trace
+        missing = {t.klass for t in graph.tasks} - set(self._kernels)
+        if missing:
+            raise KeyError(
+                f"no kernel registered for task class(es) {sorted(missing)}"
+            )
+
+        indegree = [graph.in_degree(i) for i in range(n)]
+        skipped = self._frontier(graph, data, indegree, checkpoint)
+        target = n - len(skipped)
+        ledger, verify = self._setup_integrity(data, checkpoint)
+        if target == 0:
+            if verify and ledger is not None:
+                self._final_verify(data, ledger, checkpoint)
+            return trace
+
+        from repro.linalg.arena import TileArena
+
+        arena_mode = (
+            hasattr(data, "tile")
+            and hasattr(data, "set_tile")
+            and hasattr(data, "__iter__")
+        )
+        arena = (
+            TileArena.from_store(data, spill_factor=self.spill_factor)
+            if arena_mode
+            else None
+        )
+
+        ctx = multiprocessing.get_context("fork")
+        task_q = ctx.SimpleQueue()
+        result_q = ctx.Queue()
+        num_workers = min(self.workers, target)
+        procs = [
+            ctx.Process(
+                target=self._worker_main,
+                args=(lane, graph, data, arena, task_q, result_q),
+                name=f"tlr-mp-worker-{lane}",
+                daemon=True,
+            )
+            for lane in range(num_workers)
+        ]
+        for p in procs:
+            p.start()
+        self.worker_pids = {lane: p.pid for lane, p in enumerate(procs)}
+
+        scheduler = self.scheduler
+        for i in range(n):
+            if indegree[i] == 0 and graph.tasks[i].uid not in skipped:
+                scheduler.push(i, graph.tasks[i])
+
+        completed = 0
+        retries = 0
+        outstanding: dict[int, Task] = {}
+        heals: dict[int, int] = {}
+        failure: BaseException | None = None
+        mirror_hard_crash = False
+        t0 = time.perf_counter()
+        last_progress = time.monotonic()
+
+        def dispatch() -> None:
+            nonlocal last_progress
+            while scheduler and len(outstanding) < num_workers:
+                i = scheduler.pop()
+                task = graph.tasks[i]
+                outstanding[i] = task
+                task_q.put((i, self._expected_for(task, ledger) if verify else None))
+                last_progress = time.monotonic()
+
+        try:
+            dispatch()
+            while completed < target and failure is None:
+                if not outstanding:
+                    if scheduler:
+                        dispatch()
+                        continue
+                    failure = ValueError(
+                        f"execution stalled with {target - completed} of "
+                        f"{target} tasks blocked (cycle or unsatisfiable "
+                        f"dependencies)"
+                    )
+                    break
+                try:
+                    msg = result_q.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    dead = [
+                        (lane, p.exitcode)
+                        for lane, p in enumerate(procs)
+                        if p.exitcode is not None
+                    ]
+                    if dead and outstanding:
+                        if any(code == 137 for _, code in dead):
+                            mirror_hard_crash = True
+                            return trace  # finally-block handles teardown
+                        failure = WorkerCrashError(
+                            f"worker process(es) died mid-run: "
+                            + ", ".join(
+                                f"lane {lane} exit {code}" for lane, code in dead
+                            )
+                            + f"; in flight: "
+                            + ", ".join(map(str, outstanding.values()))
+                        )
+                        break
+                    if (
+                        self.stall_timeout is not None
+                        and time.monotonic() - last_progress >= self.stall_timeout
+                    ):
+                        failure = ValueError(
+                            f"execution stalled: no task dispatched or "
+                            f"retired in {time.monotonic() - last_progress:.3g}s "
+                            f"(stall_timeout={self.stall_timeout:.3g}s) with "
+                            f"{target - completed} of {target} tasks "
+                            f"outstanding; in flight: "
+                            + ", ".join(map(str, outstanding.values()))
+                        )
+                        break
+                    continue
+
+                lane, idx, attempts, exc, counters, reports, start, end = msg
+                task = outstanding.pop(idx)
+                last_progress = time.monotonic()
+
+                if exc is not None:
+                    if (
+                        isinstance(exc, TaskFailedError)
+                        and isinstance(exc.cause, TileCorruptionError)
+                        and heals.get(idx, 0) < _MAX_HEALS_PER_TASK
+                        and self._heal_operands(
+                            task, arena, data, ledger, checkpoint
+                        )
+                    ):
+                        heals[idx] = heals.get(idx, 0) + 1
+                        retries += exc.attempts
+                        outstanding[idx] = task
+                        task_q.put(
+                            (
+                                idx,
+                                self._expected_for(task, ledger)
+                                if verify
+                                else None,
+                            )
+                        )
+                        continue
+                    failure = exc
+                    break
+
+                retries += attempts
+                completed += 1
+                if counters:
+                    injector = self.fault_injector
+                    with injector._lock:
+                        for key, delta in counters.items():
+                            injector.counters[key] += delta
+                if reports:
+                    for report, delta in zip(self._reports, reports):
+                        if delta:
+                            report.update(delta)
+                self._retire_writes(task, arena, data, ledger)
+                trace.record(
+                    TraceEvent(
+                        task.klass,
+                        task.params,
+                        start - t0,
+                        end - t0,
+                        flops=task.flops,
+                        worker=lane,
+                        pid=self.worker_pids.get(lane, 0),
+                    )
+                )
+                if checkpoint is not None and checkpoint.task_retired(task, data):
+                    checkpoint.flush(data)
+                for j in graph.successors.get(idx, ()):
+                    indegree[j] -= 1
+                    if indegree[j] == 0:
+                        scheduler.push(j, graph.tasks[j])
+                dispatch()
+        finally:
+            for _ in procs:
+                task_q.put(None)
+            deadline = time.monotonic() + 5.0
+            for p in procs:
+                p.join(timeout=max(0.1, deadline - time.monotonic()))
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+            task_q.close()
+            result_q.close()
+            result_q.join_thread()
+            if arena is not None:
+                # Written tiles were already copied out per retirement;
+                # the segments hold nothing the caller still needs.
+                arena.close()
+                arena.unlink()
+            if mirror_hard_crash:
+                # A worker took the injected SIGKILL; mirror its exit
+                # code so the process-level crash semantics (and the
+                # checkpoint/restart recovery story) match the
+                # in-process engines.  Segments were just unlinked.
+                os._exit(137)
+
+        self.last_run_retries = retries
+        if failure is not None:
+            while scheduler:
+                scheduler.pop()
+            raise failure
+        if completed != target:  # pragma: no cover - defensive
+            raise ValueError(
+                f"executed {completed} of {target} tasks; "
+                "graph has unsatisfiable dependencies"
+            )
+        if verify and ledger is not None:
+            self._final_verify(data, ledger, checkpoint)
+        return trace

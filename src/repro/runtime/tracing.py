@@ -27,6 +27,10 @@ class TraceEvent:
     end: float
     flops: float = 0.0
     worker: int = 0
+    #: OS process id of the executing worker; 0 = in-process engines.
+    #: Process-pool runs set it so the Chrome export can give every
+    #: worker process its own lane group.
+    pid: int = 0
 
     @property
     def duration(self) -> float:
@@ -113,26 +117,46 @@ class Trace:
             derived = {w: f"worker-{w}" for w in self.worker_lanes()}
             derived.update(thread_names or {})
             thread_names = derived
+        # Lane topology: in-process engines leave every event at pid 0
+        # (one process row, workers as threads); the process-pool engine
+        # stamps each event with the worker's OS pid, so each worker
+        # process gets its own row group in chrome://tracing.
+        lanes = sorted({(e.pid, e.worker) for e in self.events})
+        pids = sorted({pid for pid, _ in lanes}) or [0]
         meta: list[dict] = []
-        if process_name is not None:
+        for pid in pids:
+            if pid == 0:
+                if process_name is not None:
+                    label = process_name
+                else:
+                    continue
+            else:
+                base = f" ({process_name})" if process_name is not None else ""
+                label = f"worker pid {pid}{base}"
             meta.append(
                 {
                     "name": "process_name",
                     "ph": "M",
-                    "pid": 0,
-                    "args": {"name": process_name},
-                }
-            )
-        for tid, label in (thread_names or {}).items():
-            meta.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": 0,
-                    "tid": tid,
+                    "pid": pid,
                     "args": {"name": label},
                 }
             )
+        for tid, label in (thread_names or {}).items():
+            # pid 0 keeps the pre-mp behavior (labels may name lanes
+            # that ran no tasks); nonzero pids label only lanes seen.
+            targets = [p for p in pids if p != 0 and (p, tid) in lanes]
+            if 0 in pids or not lanes:
+                targets.insert(0, 0)
+            for pid in targets:
+                meta.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": label},
+                    }
+                )
         events = meta + [
             {
                 "name": f"{e.klass}{e.params}",
@@ -140,7 +164,7 @@ class Trace:
                 "ph": "X",
                 "ts": e.start * 1e6,
                 "dur": e.duration * 1e6,
-                "pid": 0,
+                "pid": e.pid,
                 "tid": e.worker,
                 "args": {"flops": e.flops},
             }

@@ -112,14 +112,17 @@ class OperatorSpec:
         h.update(self.points.tobytes())
         return h.hexdigest()
 
-    def build(self, workers: int | None = None) -> BuiltOperator:
+    def build(
+        self, workers: int | None = None, engine: str | None = None
+    ) -> BuiltOperator:
         """Generate, compress and factorize the operator (the cost a
         cache hit avoids).
 
-        ``workers`` threads execute the factorization DAG (see
+        ``workers`` workers execute the factorization DAG on the
+        ``engine`` backend (threads / mp / serial — see
         :func:`~repro.core.tlr_cholesky.tlr_cholesky`); the factor is
-        identical across worker counts, so the fingerprint stays a
-        sound cache key.
+        bitwise identical across worker counts and backends, so the
+        fingerprint stays a sound cache key.
         """
         from repro.core.hicma_parsec import hicma_parsec_factorize
         from repro.kernels.matgen import RBFMatrixGenerator
@@ -138,7 +141,7 @@ class OperatorSpec:
         )
         operator = a.copy()
         t1 = time.perf_counter()
-        factor = hicma_parsec_factorize(a, workers=workers).factor
+        factor = hicma_parsec_factorize(a, workers=workers, engine=engine).factor
         t2 = time.perf_counter()
         return BuiltOperator(
             operator=operator,

@@ -65,7 +65,9 @@ class TestResolveWorkers:
         assert type(engine_for(1)) is ExecutionEngine
         assert type(engine_for(None)) is ExecutionEngine
 
-    def test_engine_for_picks_parallel(self):
+    def test_engine_for_picks_parallel(self, monkeypatch):
+        # the threads default, independent of any $REPRO_ENGINE sweep
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         e = engine_for(4)
         assert isinstance(e, ParallelExecutionEngine)
         assert e.workers == 4
