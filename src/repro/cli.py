@@ -59,6 +59,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "pool, true parallelism), 'serial' (default "
                         "$REPRO_ENGINE or threads); the factor is "
                         "bitwise identical on all backends")
+    f.add_argument("--compression", type=str, default=None,
+                   choices=["svd", "rand"],
+                   help="tile compression method: 'svd' (exact truncated "
+                        "SVD) or 'rand' (adaptive randomized range-finder, "
+                        "deterministically seeded — bitwise identical "
+                        "across engines); default $REPRO_COMPRESSION or "
+                        "svd")
+    f.add_argument("--storage-precision", type=str, default=None,
+                   choices=["fp64", "mixed"],
+                   help="tile storage precision: 'fp64' or 'mixed' (fp32 "
+                        "for low-significance off-band low-rank tiles; "
+                        "compute stays fp64); default "
+                        "$REPRO_STORAGE_PRECISION or fp64")
     f.add_argument("--seed", type=int, default=0)
     f.add_argument("--trace", type=str, default=None,
                    help="write a Chrome trace JSON of the execution "
@@ -151,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="resident-bytes LRU budget (default: unbounded)")
     sv.add_argument("--cache-dir", type=str, default=None,
                     help="disk persistence directory for built factors")
+    sv.add_argument("--compression", type=str, default=None,
+                    choices=["svd", "rand"],
+                    help="compression method for cache-miss operator "
+                         "builds (part of the cache fingerprint)")
+    sv.add_argument("--storage-precision", type=str, default=None,
+                    choices=["fp64", "mixed"],
+                    help="tile storage precision for cache-miss builds")
     sv.add_argument("--trace", type=str, default=None,
                     help="write a Chrome trace JSON of the serving run")
     sv.add_argument("--seed", type=int, default=0)
@@ -204,10 +224,25 @@ def _cmd_factorize(args) -> int:
     gen = RBFMatrixGenerator(
         pts, delta, tile_size=args.tile_size, nugget=100 * args.accuracy
     )
-    a = TLRMatrix.compress(gen.tile, gen.n, args.tile_size, args.accuracy)
+    a = TLRMatrix.compress(
+        gen.tile,
+        gen.n,
+        args.tile_size,
+        args.accuracy,
+        compression=args.compression,
+        storage=args.storage_precision,
+        seed_root=args.seed,
+    )
     stats = a.off_diagonal_rank_stats()
     print(f"N={gen.n}, NT={a.n_tiles}, density={a.density():.3f}, "
           f"ranks max/avg {stats['max']:.0f}/{stats['avg']:.1f}")
+    if a.compression_stats is not None:
+        cs = a.compression_stats.to_dict()
+        print(f"compression: method={a.compression.method} "
+              f"svd={cs['svd_tiles']} rand={cs['rand_tiles']} "
+              f"probe-dense={cs['probe_dense']} "
+              f"sampled-rank avg/max {cs['sampled_rank_avg']:.1f}/"
+              f"{cs['sampled_rank_max']} fp32-tiles={cs['fp32_tiles']}")
     from repro.runtime.faults import (
         FaultInjector,
         FaultPlan,
@@ -385,6 +420,8 @@ def _cmd_serve(args) -> int:
                 tile_size=args.tile_size,
                 accuracy=args.accuracy,
                 nugget=1e-4,
+                compression=args.compression,
+                storage_precision=args.storage_precision,
                 label=f"op-{i}",
             )
         )

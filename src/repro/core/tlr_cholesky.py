@@ -117,6 +117,20 @@ def register_cholesky_kernels(
 
     def k_gemm(task: Task, a: TLRMatrix) -> None:
         m, n, k = task.params
+        # Randomized rank rounding draws its sample stream from the
+        # tile coordinates and the elimination step (generation k+1 —
+        # build-time compression is generation 0).  The DAG serializes
+        # all writes to tile (m, n), so the seed is a pure function of
+        # the task and the factor stays bitwise identical across the
+        # serial/threaded/mp engines.  ``a`` is the TLRMatrix on the
+        # in-process engines and the arena store under mp; both expose
+        # the build's compression policy (or None for svd builds).
+        policy = getattr(a, "compression", None)
+        seed = (
+            policy.tile_seed(m, n, gen=k + 1)
+            if policy is not None and policy.randomized
+            else 0
+        )
         a.set_tile(
             m,
             n,
@@ -126,6 +140,8 @@ def register_cholesky_kernels(
                 a.tile(n, k),
                 tol=a.accuracy,
                 max_rank=a.max_rank,
+                policy=policy,
+                seed=seed,
             ),
         )
 

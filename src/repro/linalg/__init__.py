@@ -6,10 +6,22 @@ recompression; and the four tile kernels of TLR Cholesky
 """
 
 from repro.linalg.lowrank import (
+    CompressionPolicy,
+    CompressionStats,
     LowRankFactor,
     compress_block,
+    derive_tile_seed,
+    randomized_compress,
+    randomized_recompress,
     recompress,
+    resolve_compression,
     truncated_svd,
+)
+from repro.linalg.precision import (
+    StoragePolicy,
+    downcast_factor,
+    factor_significance,
+    resolve_storage,
 )
 from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile, TileKind
 from repro.linalg.tile_matrix import TLRMatrix
@@ -26,6 +38,16 @@ __all__ = [
     "truncated_svd",
     "compress_block",
     "recompress",
+    "CompressionPolicy",
+    "CompressionStats",
+    "resolve_compression",
+    "derive_tile_seed",
+    "randomized_compress",
+    "randomized_recompress",
+    "StoragePolicy",
+    "resolve_storage",
+    "downcast_factor",
+    "factor_significance",
     "Tile",
     "TileKind",
     "DenseTile",

@@ -55,7 +55,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.config import DTYPE
+from repro.config import DTYPE, STORAGE_DTYPE_SINGLE
 from repro.linalg.lowrank import LowRankFactor
 from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
 
@@ -66,6 +66,9 @@ __all__ = ["ArenaError", "TileArena", "SPILL_FACTOR_ENV"]
 SPILL_FACTOR_ENV = "REPRO_ARENA_SPILL"
 
 _ITEM = np.dtype(DTYPE).itemsize
+
+_DT_DOUBLE = np.dtype(DTYPE)
+_DT_SINGLE = np.dtype(STORAGE_DTYPE_SINGLE)
 
 # ---------------------------------------------------------------------
 # descriptor table layout (one int64 row per tile slot)
@@ -80,7 +83,8 @@ F_ORDER = 6  # bit 0: primary array F-ordered; bit 1: V F-ordered
 F_GEN = 7  # generation counter, bumped on every set_tile
 F_SPILL_OFF = 8  # this slot's spill block (element offset, -1 none)
 F_SPILL_CAP = 9  # capacity of that spill block, in elements
-N_FIELDS = 10
+F_DTYPE = 10  # bit 0: primary array fp32; bit 1: V fp32 (0 = all fp64)
+N_FIELDS = 11
 
 _KIND_NULL, _KIND_LR, _KIND_DENSE = 0, 1, 2
 
@@ -112,13 +116,29 @@ def _pack_order(a: np.ndarray) -> tuple[np.ndarray, int]:
     flag 1; non-contiguous arrays are canonicalized to C — the only
     case that forces a layout change, and one tile kernels never
     produce.
+
+    Storage dtype is preserved for the two admissible precisions
+    (fp64, and fp32 for mixed-precision low-rank factors); anything
+    else is canonicalized to fp64.
     """
-    a = np.asarray(a, dtype=DTYPE)
+    a = np.asarray(a)
+    if a.dtype != _DT_SINGLE and a.dtype != _DT_DOUBLE:
+        a = np.asarray(a, dtype=DTYPE)
     if a.flags.c_contiguous:
         return a, 0
     if a.flags.f_contiguous:
         return a, 1
     return np.ascontiguousarray(a), 0
+
+
+def _slots(n_elems: int, dtype: np.dtype) -> int:
+    """Payload slots (fp64-sized units) covering ``n_elems`` of ``dtype``.
+
+    The allocator hands out 8-byte slots regardless of storage dtype;
+    fp32 arrays occupy ``ceil(n/2)`` slots (an odd-length array wastes
+    half a slot — the spill/reservation accounting stays dtype-free).
+    """
+    return -(-(n_elems * dtype.itemsize) // _ITEM)
 
 
 class TileArena:
@@ -169,6 +189,11 @@ class TileArena:
             (payload.size // _ITEM,), dtype=DTYPE, buffer=payload.buf
         )
         self._payload_addr = self._elems.__array_interface__["data"][0]
+        #: compression/storage policies mirrored from the source store
+        #: (plain Python state inherited through fork): worker-side GEMM
+        #: reads ``compression`` to pick its rounding method and seeds.
+        self.compression = None
+        self.storage = None
 
     # ------------------------------------------------------------------
     # construction
@@ -226,6 +251,8 @@ class TileArena:
             tile_size=int(getattr(store, "tile_size", 1)),
             owner=True,
         )
+        arena.compression = getattr(store, "compression", None)
+        arena.storage = getattr(store, "storage", None)
         arena._header[_H_SPILL_CUR] = cursor
         arena._header[_H_SPILL_END] = total
         arena._table[:, F_SPILL_OFF] = -1
@@ -273,10 +300,16 @@ class TileArena:
     # views
     # ------------------------------------------------------------------
 
-    def _view(self, off: int, shape: tuple[int, int], f_order: bool) -> np.ndarray:
+    def _view(
+        self,
+        off: int,
+        shape: tuple[int, int],
+        f_order: bool,
+        dtype: np.dtype = _DT_DOUBLE,
+    ) -> np.ndarray:
         return np.ndarray(
             shape,
-            dtype=DTYPE,
+            dtype=dtype,
             buffer=self._payload.buf,
             offset=off * _ITEM,
             order="F" if f_order else "C",
@@ -292,7 +325,7 @@ class TileArena:
         return start <= addr < start + self._payload.size
 
     def _write_array(self, off: int, a: np.ndarray, f_order: int) -> None:
-        dst = self._view(off, a.shape, bool(f_order))
+        dst = self._view(off, a.shape, bool(f_order), a.dtype)
         if self._in_payload(a):
             # The source may alias the destination slot (e.g. a kernel
             # republishing a tile built from arena views); stage through
@@ -324,11 +357,29 @@ class TileArena:
         if kind == _KIND_NULL:
             return NullTile(shape)
         order = int(row[F_ORDER])
+        dt = int(row[F_DTYPE])
         if kind == _KIND_DENSE:
-            return DenseTile(self._view(int(row[F_OFF_A]), shape, bool(order & 1)))
+            return DenseTile(
+                self._view(
+                    int(row[F_OFF_A]),
+                    shape,
+                    bool(order & 1),
+                    _DT_SINGLE if dt & 1 else _DT_DOUBLE,
+                )
+            )
         rank = int(row[F_RANK])
-        u = self._view(int(row[F_OFF_A]), (shape[0], rank), bool(order & 1))
-        v = self._view(int(row[F_OFF_B]), (shape[1], rank), bool(order & 2))
+        u = self._view(
+            int(row[F_OFF_A]),
+            (shape[0], rank),
+            bool(order & 1),
+            _DT_SINGLE if dt & 1 else _DT_DOUBLE,
+        )
+        v = self._view(
+            int(row[F_OFF_B]),
+            (shape[1], rank),
+            bool(order & 2),
+            _DT_SINGLE if dt & 2 else _DT_DOUBLE,
+        )
         return LowRankTile(LowRankFactor(u, v))
 
     def set_tile(self, m: int, k: int, tile: Tile) -> None:
@@ -346,26 +397,33 @@ class TileArena:
             row[F_RANK] = 0
             row[F_OFF_A] = row[F_OFF_B] = -1
             row[F_ORDER] = 0
+            row[F_DTYPE] = 0
         elif isinstance(tile, LowRankTile):
             u, fu = _pack_order(tile.u)
             v, fv = _pack_order(tile.v)
-            off = self._place(slot, key, u.size + v.size)
+            su = _slots(u.size, u.dtype)
+            sv = _slots(v.size, v.dtype)
+            off = self._place(slot, key, su + sv)
             self._write_array(off, u, fu)
-            self._write_array(off + u.size, v, fv)
+            self._write_array(off + su, v, fv)
             row[F_KIND] = _KIND_LR
             row[F_RANK] = tile.rank
             row[F_OFF_A] = off
-            row[F_OFF_B] = off + u.size
+            row[F_OFF_B] = off + su
             row[F_ORDER] = fu | (fv << 1)
+            row[F_DTYPE] = int(u.dtype == _DT_SINGLE) | (
+                int(v.dtype == _DT_SINGLE) << 1
+            )
         elif isinstance(tile, DenseTile):
             d, fd = _pack_order(tile.data)
-            off = self._place(slot, key, d.size)
+            off = self._place(slot, key, _slots(d.size, d.dtype))
             self._write_array(off, d, fd)
             row[F_KIND] = _KIND_DENSE
             row[F_RANK] = min(expected)
             row[F_OFF_A] = off
             row[F_OFF_B] = -1
             row[F_ORDER] = fd
+            row[F_DTYPE] = int(d.dtype == _DT_SINGLE)
         else:
             raise TypeError(f"cannot store {type(tile)!r} in the arena")
         row[F_ROWS], row[F_COLS] = expected
@@ -393,12 +451,28 @@ class TileArena:
         if kind == _KIND_NULL:
             return NullTile(shape)
         order = int(row[F_ORDER])
+        dt = int(row[F_DTYPE])
         if kind == _KIND_DENSE:
-            view = self._view(int(row[F_OFF_A]), shape, bool(order & 1))
+            view = self._view(
+                int(row[F_OFF_A]),
+                shape,
+                bool(order & 1),
+                _DT_SINGLE if dt & 1 else _DT_DOUBLE,
+            )
             return DenseTile(view.copy(order="F" if order & 1 else "C"))
         rank = int(row[F_RANK])
-        u = self._view(int(row[F_OFF_A]), (shape[0], rank), bool(order & 1))
-        v = self._view(int(row[F_OFF_B]), (shape[1], rank), bool(order & 2))
+        u = self._view(
+            int(row[F_OFF_A]),
+            (shape[0], rank),
+            bool(order & 1),
+            _DT_SINGLE if dt & 1 else _DT_DOUBLE,
+        )
+        v = self._view(
+            int(row[F_OFF_B]),
+            (shape[1], rank),
+            bool(order & 2),
+            _DT_SINGLE if dt & 2 else _DT_DOUBLE,
+        )
         return LowRankTile(
             LowRankFactor(
                 u.copy(order="F" if order & 1 else "C"),
@@ -423,14 +497,24 @@ class TileArena:
             row = self._table[slot].copy()
             blobs = []
             kind = int(row[F_KIND])
+            dt = int(row[F_DTYPE])
             if kind == _KIND_DENSE:
-                size = int(row[F_ROWS]) * int(row[F_COLS])
+                size = _slots(
+                    int(row[F_ROWS]) * int(row[F_COLS]),
+                    _DT_SINGLE if dt & 1 else _DT_DOUBLE,
+                )
                 blobs.append((int(row[F_OFF_A]), self._elems[
                     int(row[F_OFF_A]) : int(row[F_OFF_A]) + size
                 ].copy()))
             elif kind == _KIND_LR:
-                for field, dim in ((F_OFF_A, F_ROWS), (F_OFF_B, F_COLS)):
-                    size = int(row[dim]) * int(row[F_RANK])
+                for field, dim, bit in (
+                    (F_OFF_A, F_ROWS, 1),
+                    (F_OFF_B, F_COLS, 2),
+                ):
+                    size = _slots(
+                        int(row[dim]) * int(row[F_RANK]),
+                        _DT_SINGLE if dt & bit else _DT_DOUBLE,
+                    )
                     off = int(row[field])
                     blobs.append((off, self._elems[off : off + size].copy()))
             snap[key] = (row, blobs)

@@ -17,7 +17,10 @@ __all__ = [
     "syrk_tlr_flops",
     "gemm_dense_flops",
     "gemm_tlr_flops",
+    "gemm_tlr_flops_rand",
     "compression_flops",
+    "randomized_compression_flops",
+    "randomized_recompress_flops",
 ]
 
 
@@ -77,6 +80,22 @@ def gemm_tlr_flops(b: int, ka: int, kb: int, kc: int) -> float:
     return product + qr + svd + rebuild
 
 
+def gemm_tlr_flops_rand(b: int, ka: int, kb: int, kc: int) -> float:
+    """TLR GEMM with *randomized* rank rounding.
+
+    Same product-factor cost as :func:`gemm_tlr_flops`, but the
+    accumulated rank-``K`` pair is rounded by sampled range-finding
+    (:func:`randomized_recompress_flops` with detected rank ``~ kc``)
+    instead of the exact ``O(b K^2)`` QR-QR-SVD pipeline.
+    """
+    if ka == 0 or kb == 0:
+        return 0.0
+    kp = min(ka, kb)
+    product = 4.0 * b * ka * kb
+    big_k = kc + kp
+    return product + randomized_recompress_flops(b, big_k, max(kc, 1))
+
+
 def compression_flops(b: int, rank: int | None = None) -> float:
     """Compression of one dense ``b x b`` tile.
 
@@ -90,3 +109,42 @@ def compression_flops(b: int, rank: int | None = None) -> float:
     if rank is None:
         return 22.0 * float(b) ** 3
     return 24.0 * float(b) ** 2 * max(rank, 1)
+
+
+def randomized_compression_flops(
+    b: int, rank: int, oversample: int = 8
+) -> float:
+    """Adaptive randomized compression of one ``b x b`` tile to rank
+    ``k`` (``linalg.lowrank.randomized_compress``).
+
+    With ``p = k + oversample`` sampled columns: the sample product
+    ``A omega`` (``2 b^2 p``), the residual downdate ``Q (Q^T A)``
+    (``~4 b^2 p`` across panels), panel QRs (``~4 b p^2``), the core
+    projection ``Q^T A`` (``2 b^2 p``) plus its small SVD
+    (``~22 b p^2``) and the U rebuild (``2 b p k``).  Dominant term
+    ``O(b^2 p)`` — linear in the detected rank, versus the SVD's
+    ``O(b^3)``.
+    """
+    p = max(rank, 1) + max(oversample, 0)
+    b = float(b)
+    return 8.0 * b * b * p + 26.0 * b * p * p + 2.0 * b * p * max(rank, 1)
+
+
+def randomized_recompress_flops(
+    b: int, big_k: int, rank: int, oversample: int = 8
+) -> float:
+    """Randomized rank rounding of an accumulated rank-``big_k`` factor
+    pair down to ``rank`` (``linalg.lowrank.randomized_recompress``).
+
+    Sampling stays in factored form: each of the ``p = rank +
+    oversample`` sampled columns costs ``O((m + n) K)`` for the
+    ``V^T omega`` / ``U t`` products (``~4 b K p`` total on ``b x b``
+    tiles), plus panel QRs (``~4 b p^2``), the ``C V^T`` core build
+    (``2 b K p``), its SVD (``~22 b p^2``) and the U rebuild
+    (``2 b p rank``).  Linear in ``K``, versus the exact QR-QR-SVD
+    pipeline's ``O(b K^2)``.
+    """
+    p = max(rank, 1) + max(oversample, 0)
+    b = float(b)
+    k_big = float(max(big_k, 1))
+    return 6.0 * b * k_big * p + 26.0 * b * p * p + 2.0 * b * p * max(rank, 1)

@@ -13,7 +13,19 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.config import DENSE_RANK_FRACTION, DTYPE
-from repro.linalg.lowrank import compress_block
+from repro.linalg.lowrank import (
+    CompressionPolicy,
+    CompressionStats,
+    LowRankFactor,
+    compress_block,
+    resolve_compression,
+)
+from repro.linalg.precision import (
+    StoragePolicy,
+    downcast_factor,
+    factor_significance,
+    resolve_storage,
+)
 from repro.linalg.tile import DenseTile, Tile, as_tile
 from repro.utils.validation import check_positive, check_square_matrix
 
@@ -30,6 +42,10 @@ class GeneralTLRMatrix:
         tiles: dict[tuple[int, int], Tile],
         accuracy: float,
         max_rank: int | None = None,
+        *,
+        compression: CompressionPolicy | None = None,
+        storage: StoragePolicy | None = None,
+        compression_stats: CompressionStats | None = None,
     ) -> None:
         check_positive("n", n)
         check_positive("tile_size", tile_size)
@@ -38,6 +54,9 @@ class GeneralTLRMatrix:
         self.tile_size = int(tile_size)
         self.accuracy = float(accuracy)
         self.max_rank = max_rank
+        self.compression = compression
+        self.storage = storage
+        self.compression_stats = compression_stats
         self._tiles = tiles
         nt = self.n_tiles
         for i in range(nt):
@@ -53,10 +72,20 @@ class GeneralTLRMatrix:
         tile_size: int,
         accuracy: float,
         max_rank: int | None = None,
+        compression: CompressionPolicy | str | None = None,
+        storage: StoragePolicy | str | None = None,
+        seed_root: int = 0,
     ) -> "GeneralTLRMatrix":
-        """Compress a square operator given a dense tile generator."""
+        """Compress a square operator given a dense tile generator.
+
+        ``compression``/``storage``/``seed_root`` behave exactly as in
+        :meth:`repro.linalg.tile_matrix.TLRMatrix.compress`.
+        """
         if max_rank is None:
             max_rank = max(1, int(DENSE_RANK_FRACTION * tile_size))
+        policy = resolve_compression(compression, seed_root=seed_root)
+        storage_policy = resolve_storage(storage)
+        stats = CompressionStats()
         nt = -(-n // tile_size)
         tiles: dict[tuple[int, int], Tile] = {}
         for i in range(nt):
@@ -64,17 +93,41 @@ class GeneralTLRMatrix:
                 block = np.asarray(tile_source(i, j), dtype=DTYPE)
                 if i == j:
                     tiles[(i, j)] = DenseTile(block)
-                else:
-                    tiles[(i, j)] = as_tile(
-                        compress_block(block, accuracy, max_rank=max_rank),
-                        block.shape,
+                    continue
+                result = compress_block(
+                    block,
+                    accuracy,
+                    max_rank=max_rank,
+                    policy=policy,
+                    seed=policy.tile_seed(i, j, gen=0),
+                    stats=stats,
+                )
+                if isinstance(result, LowRankFactor):
+                    dtype = storage_policy.storage_dtype(
+                        i, j, factor_significance(result), accuracy
                     )
-        return cls(n, tile_size, tiles, accuracy, max_rank)
+                    if dtype != np.dtype(DTYPE):
+                        result = downcast_factor(result, dtype)
+                        stats.fp32_tiles += 1
+                tiles[(i, j)] = as_tile(result, block.shape)
+        return cls(
+            n,
+            tile_size,
+            tiles,
+            accuracy,
+            max_rank,
+            compression=policy,
+            storage=storage_policy,
+            compression_stats=stats,
+        )
 
     @classmethod
     def from_dense(
         cls, a: np.ndarray, tile_size: int, accuracy: float,
         max_rank: int | None = None,
+        compression: CompressionPolicy | str | None = None,
+        storage: StoragePolicy | str | None = None,
+        seed_root: int = 0,
     ) -> "GeneralTLRMatrix":
         check_square_matrix("a", a)
         a = np.asarray(a, dtype=DTYPE)
@@ -83,7 +136,16 @@ class GeneralTLRMatrix:
         def source(i: int, j: int) -> np.ndarray:
             return a[i * b : (i + 1) * b, j * b : (j + 1) * b]
 
-        return cls.compress(source, a.shape[0], tile_size, accuracy, max_rank)
+        return cls.compress(
+            source,
+            a.shape[0],
+            tile_size,
+            accuracy,
+            max_rank,
+            compression=compression,
+            storage=storage,
+            seed_root=seed_root,
+        )
 
     # ------------------------------------------------------------------
 
@@ -137,7 +199,14 @@ class GeneralTLRMatrix:
 
     def copy(self) -> "GeneralTLRMatrix":
         return GeneralTLRMatrix(
-            self.n, self.tile_size, dict(self._tiles), self.accuracy, self.max_rank
+            self.n,
+            self.tile_size,
+            dict(self._tiles),
+            self.accuracy,
+            self.max_rank,
+            compression=self.compression,
+            storage=self.storage,
+            compression_stats=self.compression_stats,
         )
 
     def __repr__(self) -> str:

@@ -19,7 +19,13 @@ import numpy as np
 import scipy.linalg as sla
 
 from repro.linalg.kernels_dense import DiagonalShiftPolicy, potrf_with_shift
-from repro.linalg.lowrank import LowRankFactor, compress_block, recompress
+from repro.linalg.lowrank import (
+    CompressionPolicy,
+    LowRankFactor,
+    compress_block,
+    randomized_recompress,
+    recompress,
+)
 from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
 
 __all__ = [
@@ -128,6 +134,8 @@ def gemm_tile(
     b_nk: Tile,
     tol: float,
     max_rank: int | None = None,
+    policy: CompressionPolicy | None = None,
+    seed: int = 0,
 ) -> Tile:
     """``C[m,n] <- C[m,n] - A[m,k] @ B[n,k]^T`` with recompression.
 
@@ -135,19 +143,26 @@ def gemm_tile(
     when both operands are non-null, and where rank growth is rounded
     back by the ``tol`` threshold.  ``max_rank`` caps the stored rank
     (HiCMA's maxrank); beyond it the tile is stored dense.
+
+    ``policy`` selects the rank-rounding method: under a randomized
+    policy the accumulated factors are rounded by sampled range-finding
+    seeded with ``seed`` — callers derive it from the tile coordinates
+    and the elimination step, so every engine draws the same stream for
+    the same task and factors stay bitwise identical.
     """
     product = _product_factor(a_mk, b_nk)
     if product is None:
         return c_mn  # nothing to subtract
 
     shape = c_mn.shape
+    randomized = policy is not None and policy.randomized
 
     if isinstance(product, np.ndarray):
         # Dense product: materialize and recompress the result.
         dense = c_mn.to_dense() - product if not isinstance(c_mn, NullTile) else -product
         if isinstance(c_mn, DenseTile):
             return DenseTile(dense)
-        return _compress_or_dense(dense, tol, max_rank, shape)
+        return _compress_or_dense(dense, tol, max_rank, shape, policy)
 
     if isinstance(c_mn, DenseTile):
         return DenseTile(c_mn.data - product.u @ product.v.T)
@@ -162,10 +177,20 @@ def gemm_tile(
 
     if stacked.rank >= min(shape):
         # Accumulated rank is no longer "low"; go through the dense path.
-        return _compress_or_dense(stacked.to_dense(), tol, max_rank, shape)
+        return _compress_or_dense(stacked.to_dense(), tol, max_rank, shape, policy)
 
     try:
-        rounded = recompress(stacked, tol)
+        if randomized:
+            rounded = randomized_recompress(
+                stacked,
+                tol,
+                seed=seed,
+                sample_block=policy.sample_block,
+                oversample=policy.oversample,
+                crossover=policy.crossover,
+            )
+        else:
+            rounded = recompress(stacked, tol)
     except np.linalg.LinAlgError:
         # Degradation ladder: if rank rounding misbehaves (e.g. SVD
         # non-convergence), hold the tile dense rather than aborting
@@ -179,10 +204,23 @@ def gemm_tile(
 
 
 def _compress_or_dense(
-    dense: np.ndarray, tol: float, max_rank: int | None, shape: tuple[int, int]
+    dense: np.ndarray,
+    tol: float,
+    max_rank: int | None,
+    shape: tuple[int, int],
+    policy: CompressionPolicy | None = None,
 ) -> Tile:
-    """Compress a materialized block, degrading to dense on failure."""
+    """Compress a materialized block, degrading to dense on failure.
+
+    The randomized policy is deliberately *not* forwarded here: this
+    path only fires when a GEMM materializes a dense product or the
+    accumulated rank stops being low — both signal a near-full-rank
+    block where sampling cannot win, so the exact SVD (with its rank
+    pre-probe) is the right tool regardless of the build method.
+    """
     from repro.linalg.tile import as_tile
+
+    del policy  # see docstring: dense-path blocks always go exact
 
     try:
         return as_tile(compress_block(dense, tol, max_rank=max_rank), shape)

@@ -1,4 +1,4 @@
-"""Low-rank factors, truncated-SVD compression and QR-based rounding.
+"""Low-rank factors, truncated-SVD and randomized compression, rounding.
 
 A rank-``k`` tile stores two tall-and-skinny factors ``U (m x k)`` and
 ``V (n x k)`` with ``block = U @ V.T`` (Section IV-B).  Compression
@@ -6,18 +6,49 @@ keeps the most significant singular values up to the accuracy
 threshold; a tile whose largest singular value falls below the
 threshold *disappears* (rank 0 → null), which is the data sparsity the
 paper exploits.
+
+Two compression methods coexist behind :class:`CompressionPolicy`:
+
+* ``"svd"`` — exact truncated SVD (the baseline), with a cheap
+  deterministic over-rank pre-probe so blocks destined for the dense
+  fallback skip the full ``O(mn min(m,n))`` decomposition;
+* ``"rand"`` — blocked adaptive randomized range-finder
+  (H2OPUS-TLR style): cost scales with the *detected* rank instead of
+  the tile size, with incremental rank detection against the same
+  absolute/relative tolerance and a direct-SVD fallback once the
+  sampled rank crosses the crossover point.
+
+Randomized results are a pure function of ``(block, tol, seed)``: the
+Gaussian test matrices come from a ``PCG64`` stream seeded per tile
+(:func:`derive_tile_seed` — operator seed root + tile coordinates +
+update generation), so serial, threaded and process-pool engines draw
+identical samples and produce bitwise-identical factors.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
+import os
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.linalg as sla
 
-from repro.config import DTYPE
+from repro.config import COMPRESSION_ENV, DEFAULT_COMPRESSION, DTYPE
 
-__all__ = ["LowRankFactor", "truncated_svd", "compress_block", "recompress"]
+__all__ = [
+    "LowRankFactor",
+    "CompressionPolicy",
+    "CompressionStats",
+    "resolve_compression",
+    "derive_tile_seed",
+    "truncated_svd",
+    "randomized_compress",
+    "compress_block",
+    "recompress",
+    "randomized_recompress",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +109,130 @@ def _truncation_rank(s: np.ndarray, tol: float, relative: bool) -> int:
     return int(np.count_nonzero(s > cutoff))
 
 
+# ---------------------------------------------------------------------
+# compression policy, deterministic seeding and stats
+# ---------------------------------------------------------------------
+
+_METHODS = ("svd", "rand")
+
+
+def derive_tile_seed(root: int, m: int, k: int, gen: int = 0) -> int:
+    """Deterministic 64-bit seed for one tile's random sampling.
+
+    ``root`` identifies the operator (e.g. its spec fingerprint),
+    ``(m, k)`` the tile, and ``gen`` the update generation: 0 for the
+    build-time compression, ``step + 1`` for the GEMM recompression at
+    elimination step ``step``.  The DAG serializes all writes to a
+    tile, so the generation sequence — and therefore every seed — is
+    identical no matter which engine or worker count executes the
+    graph.  Hash-based (BLAKE2b), so neighbouring tiles get unrelated
+    streams.
+    """
+    h = hashlib.blake2b(f"{root}|{m}|{k}|{gen}".encode(), digest_size=8)
+    return int.from_bytes(h.digest(), "little")
+
+
+@dataclass(frozen=True)
+class CompressionPolicy:
+    """How dense blocks are compressed and accumulated factors rounded.
+
+    ``method="svd"`` is the exact baseline; ``method="rand"`` routes
+    both build-time compression and GEMM rank rounding through the
+    adaptive randomized paths below.  ``seed_root`` anchors the
+    deterministic per-tile seed derivation; ``sample_block`` is the
+    range-finder panel width, ``oversample`` the cushion past the
+    detected rank, and ``crossover`` the fraction of the short tile
+    dimension (or of the accumulated rank, for rounding) past which
+    the randomized path cedes to the direct SVD.
+    """
+
+    method: str = DEFAULT_COMPRESSION
+    seed_root: int = 0
+    sample_block: int = 16
+    oversample: int = 8
+    crossover: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.method not in _METHODS:
+            raise ValueError(
+                f"compression method must be one of {_METHODS}, "
+                f"got {self.method!r}"
+            )
+        if self.sample_block < 1:
+            raise ValueError(
+                f"sample_block must be >= 1, got {self.sample_block}"
+            )
+        if self.oversample < 0:
+            raise ValueError(
+                f"oversample must be >= 0, got {self.oversample}"
+            )
+        if not 0.0 < self.crossover <= 1.0:
+            raise ValueError(
+                f"crossover must be in (0, 1], got {self.crossover}"
+            )
+
+    @property
+    def randomized(self) -> bool:
+        return self.method == "rand"
+
+    def tile_seed(self, m: int, k: int, gen: int = 0) -> int:
+        return derive_tile_seed(self.seed_root, m, k, gen)
+
+
+def resolve_compression(
+    value: CompressionPolicy | str | None, seed_root: int = 0
+) -> CompressionPolicy:
+    """Coerce a method spec: an explicit policy or method name wins,
+    then ``$REPRO_COMPRESSION``, then the svd default."""
+    if isinstance(value, CompressionPolicy):
+        return value
+    if value is None:
+        value = (
+            os.environ.get(COMPRESSION_ENV, "").strip() or DEFAULT_COMPRESSION
+        )
+    return CompressionPolicy(method=str(value), seed_root=int(seed_root))
+
+
+class CompressionStats:
+    """Mutable per-build counters (method mix, sampled-rank profile).
+
+    Filled by :meth:`~repro.linalg.tile_matrix.TLRMatrix.compress` and
+    exported by the compression benchmark; process-local (a forked
+    worker's counts stay in the worker), so treat the numbers as
+    build-time observability, not an exact global ledger.
+    """
+
+    __slots__ = (
+        "svd_tiles",
+        "rand_tiles",
+        "rand_dense",
+        "rand_svd_fallback",
+        "probe_dense",
+        "sampled_tiles",
+        "sampled_rank_sum",
+        "sampled_rank_max",
+        "fp32_tiles",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def record_sampled(self, sampled: int) -> None:
+        self.sampled_tiles += 1
+        self.sampled_rank_sum += int(sampled)
+        self.sampled_rank_max = max(self.sampled_rank_max, int(sampled))
+
+    def to_dict(self) -> dict:
+        out = {name: int(getattr(self, name)) for name in self.__slots__}
+        out["sampled_rank_avg"] = (
+            self.sampled_rank_sum / self.sampled_tiles
+            if self.sampled_tiles
+            else 0.0
+        )
+        return out
+
+
 def truncated_svd(
     block: np.ndarray, tol: float, relative: bool = False
 ) -> LowRankFactor | None:
@@ -111,11 +266,162 @@ def truncated_svd(
     )
 
 
+def randomized_compress(
+    block: np.ndarray,
+    tol: float,
+    relative: bool = False,
+    max_rank: int | None = None,
+    seed: int = 0,
+    sample_block: int = 16,
+    oversample: int = 8,
+    crossover: float = 0.5,
+    stats: CompressionStats | None = None,
+) -> LowRankFactor | np.ndarray | None:
+    """Compress a dense block with a blocked adaptive range-finder.
+
+    Gaussian panels of ``sample_block`` columns are drawn from a
+    ``PCG64(seed)`` stream, projected against the basis built so far,
+    and folded in until the explicit residual's Frobenius norm drops
+    below the threshold — at which point *every* remaining singular
+    value is below the SVD truncation cutoff, so the final small SVD
+    of ``Q^T A`` applies the exact HiCMA rule to a spectrum that
+    contains everything the full SVD would have kept.  Cost is
+    ``O(mn(k + p))`` for detected rank ``k``, versus
+    ``O(mn min(m, n))`` for the full SVD.
+
+    Rank detection is capped: past ``max_rank + oversample`` columns
+    the block is declared over-rank and returned dense (exact, no
+    decomposition wasted); past ``crossover * min(m, n)`` columns the
+    block is not meaningfully low-rank and the direct SVD takes over.
+
+    The result is a pure function of ``(block, tol, seed)`` — same
+    inputs, same factor, bitwise, on every execution engine.
+    """
+    if tol <= 0.0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    block = np.asarray(block, dtype=DTYPE)
+    m, n = block.shape
+    short = min(m, n)
+    fnorm = float(np.linalg.norm(block))
+    stop = tol * fnorm if relative else tol
+    if fnorm <= stop or fnorm == 0.0:
+        return None  # sigma_1 <= ||A||_F <= cutoff: the tile disappears
+
+    cross_cap = max(1, int(math.ceil(crossover * short)))
+    cap = cross_cap
+    if max_rank is not None:
+        cap = min(cap, max_rank + oversample)
+
+    rng = np.random.Generator(np.random.PCG64(seed))
+    q_basis: np.ndarray | None = None
+    resid = np.array(block, dtype=DTYPE, copy=True)
+    sampled = 0
+    converged = False
+    while sampled < cap:
+        p = min(sample_block, cap - sampled)
+        omega = rng.standard_normal((n, p))
+        y = resid @ omega
+        if q_basis is not None:
+            # re-orthogonalize against the accumulated basis (the
+            # explicit residual keeps this nearly orthogonal already;
+            # the projection mops up roundoff drift)
+            y -= q_basis @ (q_basis.T @ y)
+        qj = sla.qr(y, mode="economic", check_finite=False)[0]
+        q_basis = qj if q_basis is None else np.hstack([q_basis, qj])
+        resid -= qj @ (qj.T @ block)
+        sampled += p
+        if float(np.linalg.norm(resid)) <= stop:
+            converged = True
+            break
+
+    if stats is not None:
+        stats.record_sampled(sampled)
+    if not converged:
+        if max_rank is not None and cap < cross_cap:
+            # over the rank budget before the crossover: the dense
+            # fallback is exact, so skip any decomposition entirely
+            if stats is not None:
+                stats.rand_dense += 1
+            return np.asarray(block, dtype=DTYPE)
+        # not meaningfully low-rank: direct SVD decides (and applies
+        # the identical truncation rule)
+        if stats is not None:
+            stats.rand_svd_fallback += 1
+        factor = truncated_svd(block, tol, relative=relative)
+        if factor is None:
+            return None
+        if max_rank is not None and factor.rank > max_rank:
+            return np.asarray(block, dtype=DTYPE)
+        return factor
+
+    core = q_basis.T @ block
+    u, s, vt = sla.svd(core, full_matrices=False, check_finite=False)
+    k = _truncation_rank(s, tol, relative)
+    if k == 0:
+        return None
+    if max_rank is not None and k > max_rank:
+        if stats is not None:
+            stats.rand_dense += 1
+        return np.asarray(block, dtype=DTYPE)
+    return LowRankFactor(
+        np.ascontiguousarray(q_basis @ (u[:, :k] * s[:k])),
+        np.ascontiguousarray(vt[:k].T),
+    )
+
+
+#: over-rank pre-probe tuning: sampling cushion past max_rank, and the
+#: multiple of the rank<=max_rank residual bound that must be exceeded
+#: before the probe declares the block dense without a full SVD
+_PROBE_OVERSAMPLE = 8
+_PROBE_SAFETY = 2.0
+
+
+def _probe_over_rank(block: np.ndarray, tol: float, max_rank: int) -> bool:
+    """Cheap deterministic test that a block's rank clearly exceeds
+    ``max_rank`` (absolute tolerance only).
+
+    Projects the block onto a sampled ``max_rank + oversample``-column
+    range and measures the left-over energy via
+    ``||A||_F^2 - ||Q^T A||_F^2``.  A block that *is* compressible to
+    ``max_rank`` leaves at most ``tol * sqrt(min(m,n) - max_rank)``
+    behind (every discarded singular value <= tol), so a residual
+    beyond ``_PROBE_SAFETY`` times that bound proves the dense
+    fallback is inevitable — without paying the full SVD it would
+    throw away.  Borderline blocks keep taking the exact SVD path.
+
+    The Gaussian samples are seeded from the block's own bytes, so the
+    probe is a pure function of the block — identical decisions on
+    every engine, no seed plumbing required.
+    """
+    m, n = block.shape
+    short = min(m, n)
+    probe_cols = max_rank + _PROBE_OVERSAMPLE
+    if 3 * probe_cols >= short:
+        return False  # probe would cost a comparable fraction of the SVD
+    seed = int.from_bytes(
+        hashlib.blake2b(
+            np.ascontiguousarray(block).tobytes(), digest_size=8
+        ).digest(),
+        "little",
+    )
+    rng = np.random.Generator(np.random.PCG64(seed))
+    omega = rng.standard_normal((n, probe_cols))
+    q = sla.qr(block @ omega, mode="economic", check_finite=False)[0]
+    total = float(np.linalg.norm(block)) ** 2
+    captured = float(np.linalg.norm(q.T @ block)) ** 2
+    resid = math.sqrt(max(total - captured, 0.0))
+    bound = tol * math.sqrt(max(short - max_rank, 1))
+    return resid > _PROBE_SAFETY * bound
+
+
 def compress_block(
     block: np.ndarray,
     tol: float,
     max_rank: int | None = None,
     relative: bool = False,
+    policy: CompressionPolicy | None = None,
+    seed: int = 0,
+    stats: CompressionStats | None = None,
 ) -> LowRankFactor | np.ndarray | None:
     """Compress a dense block, falling back to dense for high ranks.
 
@@ -123,7 +429,36 @@ def compress_block(
     :class:`LowRankFactor` when the numerical rank is at most
     ``max_rank``, and the original dense block otherwise — mirroring
     HiCMA's maxrank convention (config ``DENSE_RANK_FRACTION``).
+
+    ``policy`` selects the method: randomized policies route through
+    :func:`randomized_compress` with the given per-tile ``seed``; the
+    default SVD path first runs a cheap over-rank pre-probe so blocks
+    headed for the dense fallback skip the full decomposition.
     """
+    if policy is not None and policy.randomized:
+        if stats is not None:
+            stats.rand_tiles += 1
+        return randomized_compress(
+            block,
+            tol,
+            relative=relative,
+            max_rank=max_rank,
+            seed=seed,
+            sample_block=policy.sample_block,
+            oversample=policy.oversample,
+            crossover=policy.crossover,
+            stats=stats,
+        )
+    if stats is not None:
+        stats.svd_tiles += 1
+    if (
+        max_rank is not None
+        and not relative
+        and _probe_over_rank(np.asarray(block, dtype=DTYPE), tol, max_rank)
+    ):
+        if stats is not None:
+            stats.probe_dense += 1
+        return np.asarray(block, dtype=DTYPE)
     factor = truncated_svd(block, tol, relative=relative)
     if factor is None:
         return None
@@ -158,8 +493,14 @@ def recompress(
     short_side = min(factor.shape)
     if factor.rank >= max(1, short_side // 2):
         return truncated_svd(factor.to_dense(), tol, relative=relative)
-    qu, ru = sla.qr(factor.u, mode="economic", check_finite=False)
-    qv, rv = sla.qr(factor.v, mode="economic", check_finite=False)
+    # promote fp32-stored factors: rounding always computes in DTYPE
+    # (no-op, no copy, for the usual fp64 inputs)
+    qu, ru = sla.qr(
+        np.asarray(factor.u, dtype=DTYPE), mode="economic", check_finite=False
+    )
+    qv, rv = sla.qr(
+        np.asarray(factor.v, dtype=DTYPE), mode="economic", check_finite=False
+    )
     core = ru @ rv.T
     u, s, vt = sla.svd(core, full_matrices=False, check_finite=False)
     k = _truncation_rank(s, tol, relative)
@@ -168,4 +509,101 @@ def recompress(
     return LowRankFactor(
         np.ascontiguousarray(qu @ (u[:, :k] * s[:k])),
         np.ascontiguousarray(qv @ vt[:k].T),
+    )
+
+
+#: convergence slack for the stochastic residual estimator used by
+#: randomized rounding: stop only once the estimated residual is this
+#: fraction of the tolerance, absorbing the estimator's variance
+_RECOMPRESS_EST_SAFETY = 0.5
+
+
+def randomized_recompress(
+    factor: LowRankFactor,
+    tol: float,
+    seed: int = 0,
+    relative: bool = False,
+    sample_block: int = 16,
+    oversample: int = 8,
+    crossover: float = 0.5,
+) -> LowRankFactor | None:
+    """Randomized rank rounding of an accumulated factor pair.
+
+    After a TLR GEMM the stacked factors carry rank
+    ``K = k_C + min(k_A, k_B)`` but the numerical rank is usually close
+    to ``k_C``.  The exact QR-QR-SVD pipeline pays ``O((m+n) K^2)``
+    regardless; this path samples the product ``U V^T`` *in factored
+    form* — ``y = U (V^T omega) - Q (C (V^T omega))`` with
+    ``C = Q^T U`` maintained incrementally, ``O((m+n) K p)`` per
+    panel — so the cost scales with the detected rank ``k`` instead of
+    the accumulated rank ``K``.
+
+    Each fresh panel doubles as a stochastic residual estimator
+    (``E||R omega_i||^2 = ||R||_F^2``); sampling stops once the
+    estimate is safely below the threshold and the small SVD of
+    ``C V^T`` applies the standard truncation rule.  Factors whose
+    accumulated rank is already small, or whose detected rank crosses
+    ``crossover * K`` (where the exact pipeline is no longer more
+    expensive), are delegated to :func:`recompress` — same truncation
+    rule, exact arithmetic.
+
+    Deterministic: the sample stream is ``PCG64(seed)``, with ``seed``
+    derived per tile and generation, so every engine rounds every
+    accumulation identically.
+    """
+    if tol <= 0.0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    if factor.rank == 0:
+        return factor
+    m, n = factor.shape
+    big_k = factor.rank
+    # Small accumulations and not-actually-low ranks: the exact
+    # pipeline is as cheap (or cheaper) and needs no estimator slack.
+    if big_k <= sample_block or big_k >= max(1, min(m, n) // 2):
+        return recompress(factor, tol, relative=relative)
+
+    u = np.asarray(factor.u, dtype=DTYPE)
+    v = np.asarray(factor.v, dtype=DTYPE)
+    cap = max(1, int(math.ceil(crossover * big_k)))
+    rng = np.random.Generator(np.random.PCG64(seed))
+    q_basis: np.ndarray | None = None
+    coeff: np.ndarray | None = None  # C = Q^T U, maintained incrementally
+    sampled = 0
+    converged = False
+    stop_scale: float | None = None  # ||A||_F estimate for relative mode
+    while sampled < cap:
+        p = min(sample_block, cap - sampled)
+        omega = rng.standard_normal((n, p))
+        t = v.T @ omega  # K x p — never materializes the m x n product
+        y = u @ t
+        if q_basis is not None:
+            y -= q_basis @ (coeff @ t)
+        # the fresh panel estimates the *current* residual norm:
+        # each column is R omega_i with E||R omega_i||^2 = ||R||_F^2
+        est = math.sqrt(float(np.mean(np.sum(y * y, axis=0))))
+        if stop_scale is None:
+            stop_scale = est  # first panel: R = A, so est ~ ||A||_F
+        stop = tol * stop_scale if relative else tol
+        if q_basis is not None:
+            y -= q_basis @ (q_basis.T @ y)
+        qj = sla.qr(y, mode="economic", check_finite=False)[0]
+        cj = qj.T @ u
+        q_basis = qj if q_basis is None else np.hstack([q_basis, qj])
+        coeff = cj if coeff is None else np.vstack([coeff, cj])
+        sampled += p
+        if est <= _RECOMPRESS_EST_SAFETY * stop and sampled > p:
+            converged = True
+            break
+    if not converged:
+        # detected rank crossed the crossover point: the economy
+        # QR-QR-SVD pipeline wins from here (identical truncation)
+        return recompress(factor, tol, relative=relative)
+    core = coeff @ v.T  # l x n
+    u2, s, vt = sla.svd(core, full_matrices=False, check_finite=False)
+    k = _truncation_rank(s, tol, relative)
+    if k == 0:
+        return None
+    return LowRankFactor(
+        np.ascontiguousarray(q_basis @ (u2[:, :k] * s[:k])),
+        np.ascontiguousarray(vt[:k].T),
     )

@@ -18,14 +18,15 @@ Robustness guarantees (format version 2):
   instead of flowing silently into a factorization or a served solve.
 
 Version-1 files (no checksum block) still load; they simply skip
-verification.
+verification.  Version 3 marks files holding mixed-precision (fp32)
+low-rank factors — written only when such tiles are present, so
+all-fp64 matrices keep producing version-2 files older readers accept.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.config import DTYPE
 from repro.linalg.integrity import TileIntegrityError, tile_checksum
 from repro.linalg.lowrank import LowRankFactor
 from repro.linalg.tile import DenseTile, LowRankTile, NullTile, Tile
@@ -35,7 +36,8 @@ from repro.utils.atomic import atomic_write_via
 __all__ = ["save_tlr", "load_tlr"]
 
 _FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_MIXED_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def save_tlr(a: TLRMatrix, path, compressed: bool = True) -> None:
@@ -47,19 +49,11 @@ def save_tlr(a: TLRMatrix, path, compressed: bool = True) -> None:
     path; archival snapshots should keep the default zip compression.
     """
     arrays: dict[str, np.ndarray] = {
-        "header": np.array(
-            [
-                _FORMAT_VERSION,
-                a.n,
-                a.tile_size,
-                a.max_rank if a.max_rank is not None else -1,
-            ],
-            dtype=np.int64,
-        ),
         "accuracy": np.array([a.accuracy], dtype=np.float64),
     }
     kinds = []
     checksums = []
+    mixed = False
     for (m, k), tile in sorted(a, key=lambda it: it[0]):
         key = f"{m}_{k}"
         if isinstance(tile, NullTile):
@@ -68,10 +62,20 @@ def save_tlr(a: TLRMatrix, path, compressed: bool = True) -> None:
             kinds.append((m, k, 1))
             arrays[f"u_{key}"] = tile.u
             arrays[f"v_{key}"] = tile.v
+            mixed = mixed or tile.u.dtype != np.float64 or tile.v.dtype != np.float64
         else:
             kinds.append((m, k, 2))
             arrays[f"d_{key}"] = tile.data
         checksums.append(tile_checksum(tile))
+    arrays["header"] = np.array(
+        [
+            _MIXED_FORMAT_VERSION if mixed else _FORMAT_VERSION,
+            a.n,
+            a.tile_size,
+            a.max_rank if a.max_rank is not None else -1,
+        ],
+        dtype=np.int64,
+    )
     arrays["kinds"] = np.array(kinds, dtype=np.int64)
     arrays["checksums"] = np.array(checksums, dtype="U64")
     write = np.savez_compressed if compressed else np.savez
@@ -119,11 +123,13 @@ def load_tlr(path, verify: bool = True) -> TLRMatrix:
                 # np.asarray (not ascontiguousarray): keep the stored
                 # memory layout — BLAS rounds differently for C- vs
                 # F-ordered operands, and reloaded factors must behave
-                # bitwise identically to freshly built ones.
+                # bitwise identically to freshly built ones.  The
+                # stored dtype is preserved too: mixed-precision (v3)
+                # factors reload as fp32, fp64 files as fp64.
                 tile = LowRankTile(
                     LowRankFactor(
-                        np.asarray(data[f"u_{key}"], dtype=DTYPE),
-                        np.asarray(data[f"v_{key}"], dtype=DTYPE),
+                        np.asarray(data[f"u_{key}"]),
+                        np.asarray(data[f"v_{key}"]),
                     )
                 )
             elif kind == 2:

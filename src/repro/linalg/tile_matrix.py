@@ -13,7 +13,19 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.config import DENSE_RANK_FRACTION, DTYPE
-from repro.linalg.lowrank import compress_block
+from repro.linalg.lowrank import (
+    CompressionPolicy,
+    CompressionStats,
+    LowRankFactor,
+    compress_block,
+    resolve_compression,
+)
+from repro.linalg.precision import (
+    StoragePolicy,
+    downcast_factor,
+    factor_significance,
+    resolve_storage,
+)
 from repro.linalg.tile import DenseTile, Tile, as_tile
 from repro.utils.validation import check_positive, check_square_matrix
 
@@ -36,6 +48,10 @@ class TLRMatrix:
         tiles: dict[tuple[int, int], Tile],
         accuracy: float,
         max_rank: int | None = None,
+        *,
+        compression: CompressionPolicy | None = None,
+        storage: StoragePolicy | None = None,
+        compression_stats: CompressionStats | None = None,
     ) -> None:
         check_positive("n", n)
         check_positive("tile_size", tile_size)
@@ -44,6 +60,15 @@ class TLRMatrix:
         self.tile_size = int(tile_size)
         self.accuracy = float(accuracy)
         self.max_rank = max_rank
+        #: compression policy the build used; GEMM rank rounding reads
+        #: it (via the store) to pick its method and derive seeds.
+        #: ``None`` (e.g. a hand-assembled matrix) means exact SVD.
+        self.compression = compression
+        #: storage-precision policy the build used (``None`` = fp64)
+        self.storage = storage
+        #: build-time method/rank counters (``None`` when not built
+        #: through :meth:`compress`)
+        self.compression_stats = compression_stats
         self._tiles = tiles
         nt = self.n_tiles
         #: per-column cache of sub-diagonal non-null rows (None = stale)
@@ -67,6 +92,9 @@ class TLRMatrix:
         tile_size: int,
         accuracy: float,
         max_rank: int | None = None,
+        compression: CompressionPolicy | str | None = None,
+        storage: StoragePolicy | str | None = None,
+        seed_root: int = 0,
     ) -> "TLRMatrix":
         """Build a TLR matrix by compressing tiles from a generator.
 
@@ -76,10 +104,22 @@ class TLRMatrix:
         Diagonal tiles stay dense; off-diagonal tiles are compressed to
         the ``accuracy`` threshold with rank capped by ``max_rank``
         (default: ``DENSE_RANK_FRACTION * tile_size``).
+
+        ``compression`` picks the method (``"svd"``/``"rand"`` or a
+        full :class:`~repro.linalg.lowrank.CompressionPolicy`; default
+        honors ``$REPRO_COMPRESSION``), with per-tile sampling seeds
+        derived from ``seed_root`` — pass the operator's fingerprint so
+        rebuilds of the same spec are bitwise identical.  ``storage``
+        selects the tile-storage precision (``"fp64"``/``"mixed"`` or a
+        :class:`~repro.linalg.precision.StoragePolicy`; default honors
+        ``$REPRO_STORAGE_PRECISION``).
         """
         check_positive("tile_size", tile_size)
         if max_rank is None:
             max_rank = max(1, int(DENSE_RANK_FRACTION * tile_size))
+        policy = resolve_compression(compression, seed_root=seed_root)
+        storage_policy = resolve_storage(storage)
+        stats = CompressionStats()
         nt = -(-n // tile_size)
         tiles: dict[tuple[int, int], Tile] = {}
         for k in range(nt):
@@ -87,12 +127,33 @@ class TLRMatrix:
                 block = np.asarray(tile_source(m, k), dtype=DTYPE)
                 if m == k:
                     tiles[(m, k)] = DenseTile(block)
-                else:
-                    tiles[(m, k)] = as_tile(
-                        compress_block(block, accuracy, max_rank=max_rank),
-                        block.shape,
+                    continue
+                result = compress_block(
+                    block,
+                    accuracy,
+                    max_rank=max_rank,
+                    policy=policy,
+                    seed=policy.tile_seed(m, k, gen=0),
+                    stats=stats,
+                )
+                if isinstance(result, LowRankFactor):
+                    dtype = storage_policy.storage_dtype(
+                        m, k, factor_significance(result), accuracy
                     )
-        return cls(n, tile_size, tiles, accuracy, max_rank)
+                    if dtype != np.dtype(DTYPE):
+                        result = downcast_factor(result, dtype)
+                        stats.fp32_tiles += 1
+                tiles[(m, k)] = as_tile(result, block.shape)
+        return cls(
+            n,
+            tile_size,
+            tiles,
+            accuracy,
+            max_rank,
+            compression=policy,
+            storage=storage_policy,
+            compression_stats=stats,
+        )
 
     @classmethod
     def from_dense(
@@ -101,6 +162,9 @@ class TLRMatrix:
         tile_size: int,
         accuracy: float,
         max_rank: int | None = None,
+        compression: CompressionPolicy | str | None = None,
+        storage: StoragePolicy | str | None = None,
+        seed_root: int = 0,
     ) -> "TLRMatrix":
         """Compress an explicit dense symmetric matrix."""
         check_square_matrix("a", a)
@@ -110,7 +174,16 @@ class TLRMatrix:
         def source(i: int, j: int) -> np.ndarray:
             return a[i * b : (i + 1) * b, j * b : (j + 1) * b]
 
-        return cls.compress(source, a.shape[0], tile_size, accuracy, max_rank)
+        return cls.compress(
+            source,
+            a.shape[0],
+            tile_size,
+            accuracy,
+            max_rank,
+            compression=compression,
+            storage=storage,
+            seed_root=seed_root,
+        )
 
     # ------------------------------------------------------------------
     # access
@@ -266,7 +339,14 @@ class TLRMatrix:
         replace them; copying the dict is enough for independence as
         kernels never mutate operand arrays in place)."""
         return TLRMatrix(
-            self.n, self.tile_size, dict(self._tiles), self.accuracy, self.max_rank
+            self.n,
+            self.tile_size,
+            dict(self._tiles),
+            self.accuracy,
+            self.max_rank,
+            compression=self.compression,
+            storage=self.storage,
+            compression_stats=self.compression_stats,
         )
 
     def __repr__(self) -> str:

@@ -177,8 +177,6 @@ def _tiles_to_npz_bytes(tiles: dict[tuple[int, int], Tile]) -> bytes:
 
 
 def _tiles_from_npz_bytes(payload: bytes) -> dict[tuple[int, int], Tile]:
-    from repro.config import DTYPE
-
     tiles: dict[tuple[int, int], Tile] = {}
     with np.load(io.BytesIO(payload)) as data:
         for m, k, kind, rows, cols in data["kinds"]:
@@ -188,14 +186,15 @@ def _tiles_from_npz_bytes(payload: bytes) -> dict[tuple[int, int], Tile]:
                 tiles[(m, k)] = NullTile((int(rows), int(cols)))
             elif kind == 1:
                 # np.asarray (not ascontiguousarray): the npy format
-                # preserves Fortran order, and the memory layout must
-                # survive the round-trip — BLAS picks different kernel
-                # paths (and rounds differently) for C- vs F-ordered
-                # operands, which would break bitwise-identical resume.
+                # preserves Fortran order and the stored dtype, and
+                # both must survive the round-trip — BLAS picks
+                # different kernel paths (and rounds differently) for
+                # C- vs F-ordered operands, and a dtype cast would
+                # break the manifest checksum of fp32-stored tiles.
                 tiles[(m, k)] = LowRankTile(
                     LowRankFactor(
-                        np.asarray(data[f"u_{key}"], dtype=DTYPE),
-                        np.asarray(data[f"v_{key}"], dtype=DTYPE),
+                        np.asarray(data[f"u_{key}"]),
+                        np.asarray(data[f"v_{key}"]),
                     )
                 )
             elif kind == 2:

@@ -35,6 +35,8 @@ def default_benchmark_spec(
     tile_size: int = 200,
     accuracy: float = 1.0e-6,
     seed: int = 1,
+    compression: str | None = None,
+    storage_precision: str | None = None,
 ) -> OperatorSpec:
     """The suite's standard sparse-regime workload as a servable spec."""
     pts = virus_population(
@@ -46,6 +48,8 @@ def default_benchmark_spec(
         tile_size=tile_size,
         accuracy=accuracy,
         nugget=1e-4,
+        compression=compression,
+        storage_precision=storage_precision,
         label=f"bench-{viruses}x{points_per_virus}",
     )
 

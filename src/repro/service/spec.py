@@ -66,6 +66,14 @@ class OperatorSpec:
     kernel: str = "gaussian"
     nugget: float = 1.0e-8
     max_rank: int | None = None
+    #: compression method for the build (``"svd"``/``"rand"``).  None
+    #: defers to ``$REPRO_COMPRESSION`` and is pinned to the resolved
+    #: method at construction, so the fingerprint and the build can
+    #: never disagree about what an env-selected default meant.
+    compression: str | None = None
+    #: tile-storage precision (``"fp64"``/``"mixed"``); None defers to
+    #: ``$REPRO_STORAGE_PRECISION``, pinned like ``compression``.
+    storage_precision: str | None = None
     label: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -83,6 +91,18 @@ class OperatorSpec:
             )
         if self.nugget < 0.0:
             raise ValueError(f"nugget must be >= 0, got {self.nugget}")
+        # pin env-resolved policy names (also fails fast on typos)
+        from repro.linalg.lowrank import resolve_compression
+        from repro.linalg.precision import resolve_storage
+
+        object.__setattr__(
+            self, "compression", resolve_compression(self.compression).method
+        )
+        object.__setattr__(
+            self,
+            "storage_precision",
+            resolve_storage(self.storage_precision).mode,
+        )
 
     @property
     def n(self) -> int:
@@ -108,6 +128,12 @@ class OperatorSpec:
             f"|maxrank={self.max_rank if self.max_rank is None else int(self.max_rank)}"
             f"|n={self.n}|"
         )
+        # non-default policies extend the header; the default build
+        # keeps its pre-existing fingerprint (cache entries survive)
+        if self.compression != "svd":
+            header += f"comp={self.compression}|"
+        if self.storage_precision != "fp64":
+            header += f"prec={self.storage_precision}|"
         h.update(header.encode())
         h.update(self.points.tobytes())
         return h.hexdigest()
@@ -137,7 +163,16 @@ class OperatorSpec:
             nugget=self.nugget,
         )
         a = TLRMatrix.compress(
-            gen.tile, gen.n, self.tile_size, self.accuracy, max_rank=self.max_rank
+            gen.tile,
+            gen.n,
+            self.tile_size,
+            self.accuracy,
+            max_rank=self.max_rank,
+            compression=self.compression,
+            storage=self.storage_precision,
+            # anchor the per-tile sampling seeds to the operator
+            # identity: rebuilds of the same spec are bitwise identical
+            seed_root=int(self.fingerprint[:16], 16),
         )
         operator = a.copy()
         t1 = time.perf_counter()

@@ -1,0 +1,261 @@
+"""Mixed-precision tile storage: policy gates, containers, integrity."""
+
+import numpy as np
+import pytest
+
+from repro.config import DTYPE, STORAGE_DTYPE_SINGLE
+from repro.linalg.arena import TileArena
+from repro.linalg.integrity import (
+    TileIntegrityError,
+    matrix_checksums,
+    tile_checksum,
+    verify_matrix,
+)
+from repro.linalg.lowrank import LowRankFactor, truncated_svd
+from repro.linalg.precision import (
+    StoragePolicy,
+    downcast_factor,
+    factor_significance,
+    resolve_storage,
+)
+from repro.linalg.serialization import load_tlr, save_tlr
+from repro.linalg.tile import LowRankTile
+from repro.linalg.tile_matrix import TLRMatrix
+
+
+class TestStoragePolicy:
+    def test_defaults_to_fp64(self):
+        p = StoragePolicy()
+        assert p.mode == "fp64"
+        assert not p.mixed
+
+    def test_fp64_mode_never_downcasts(self):
+        p = StoragePolicy(mode="fp64")
+        assert p.storage_dtype(5, 0, significance=1e-12, accuracy=1e-6) == DTYPE
+
+    def test_band_tiles_stay_fp64(self):
+        p = StoragePolicy(mode="mixed", band_width=1)
+        assert not p.off_band(3, 3)
+        assert not p.off_band(3, 2)
+        assert p.off_band(3, 1)
+        assert p.storage_dtype(3, 2, significance=0.0, accuracy=1e-6) == DTYPE
+
+    def test_significance_gate(self):
+        p = StoragePolicy(mode="mixed", band_width=1, margin=0.5)
+        eps32 = float(np.finfo(STORAGE_DTYPE_SINGLE).eps)
+        accuracy = 1e-6
+        small = 0.4 * accuracy / eps32  # passes the margin test
+        large = 10.0 * accuracy / eps32  # fp32 roundoff would exceed eps
+        assert (
+            p.storage_dtype(5, 0, small, accuracy) == STORAGE_DTYPE_SINGLE
+        )
+        assert p.storage_dtype(5, 0, large, accuracy) == DTYPE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"mode": "fp16"}, {"band_width": -1}, {"margin": 0.0}],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            StoragePolicy(**kwargs)
+
+
+class TestResolveStorage:
+    def test_policy_passthrough(self):
+        p = StoragePolicy(mode="mixed")
+        assert resolve_storage(p) is p
+
+    def test_mode_name(self):
+        assert resolve_storage("mixed").mixed
+
+    def test_none_defaults_to_fp64(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORAGE_PRECISION", raising=False)
+        assert resolve_storage(None).mode == "fp64"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORAGE_PRECISION", "mixed")
+        assert resolve_storage(None).mixed
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError):
+            resolve_storage("fp8")
+
+
+class TestFactorHelpers:
+    def test_significance_is_sigma1(self, rng):
+        block = rng.standard_normal((40, 40))
+        f = truncated_svd(block, tol=1e-10)
+        sigma1 = np.linalg.svd(block, compute_uv=False)[0]
+        assert factor_significance(f) == pytest.approx(sigma1, rel=1e-12)
+
+    def test_downcast_roundtrip_error_small(self, rng):
+        f = truncated_svd(rng.standard_normal((30, 30)), tol=1e-10)
+        g = downcast_factor(f, STORAGE_DTYPE_SINGLE)
+        assert g.u.dtype == STORAGE_DTYPE_SINGLE
+        assert g.v.dtype == STORAGE_DTYPE_SINGLE
+        err = np.linalg.norm(f.to_dense() - g.to_dense().astype(DTYPE))
+        assert err <= 1e-4 * np.linalg.norm(f.to_dense())
+
+    def test_downcast_same_dtype_is_identity(self, rng):
+        f = LowRankFactor(
+            rng.standard_normal((6, 2)), rng.standard_normal((6, 2))
+        )
+        assert downcast_factor(f, DTYPE) is f
+
+
+def weakly_coupled_spd(n=120, bs=30, seed=0):
+    """Strong SPD diagonal blocks plus a tiny global rank-1 coupling:
+    every off-diagonal tile is rank 1 with spectral norm ~1e-2, far
+    below the fp32 significance gate at accuracy 1e-6."""
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    for i in range(0, n, bs):
+        d = rng.standard_normal((bs, bs))
+        a[i : i + bs, i : i + bs] = d @ d.T + 5.0 * bs * np.eye(bs)
+    w = rng.standard_normal(n)
+    return a + 1e-3 * np.outer(w, w)
+
+
+@pytest.fixture(scope="module")
+def mixed_tlr():
+    a = weakly_coupled_spd()
+    return TLRMatrix.from_dense(a, 30, accuracy=1e-6, storage="mixed")
+
+
+class TestMixedPrecisionBuild:
+    def test_off_band_tiles_are_fp32(self, mixed_tlr):
+        fp32 = [
+            (m, k)
+            for (m, k), tile in mixed_tlr
+            if isinstance(tile, LowRankTile)
+            and tile.u.dtype == STORAGE_DTYPE_SINGLE
+        ]
+        assert set(fp32) == {(2, 0), (3, 0), (3, 1)}
+        for m, k in fp32:
+            assert mixed_tlr.tile(m, k).v.dtype == STORAGE_DTYPE_SINGLE
+
+    def test_band_and_diagonal_stay_fp64(self, mixed_tlr):
+        for (m, k), tile in mixed_tlr:
+            if abs(m - k) <= 1:
+                for arr in getattr(tile, "arrays", lambda: [])():
+                    assert arr.dtype == DTYPE
+
+    def test_stats_count_downcasts(self, mixed_tlr):
+        assert mixed_tlr.compression_stats.fp32_tiles == 3
+
+    def test_reconstruction_within_accuracy(self, mixed_tlr):
+        a = weakly_coupled_spd()
+        err = np.abs(mixed_tlr.to_dense() - a).max()
+        assert err <= 1e-6
+
+    def test_fp64_mode_stores_no_fp32(self):
+        a = weakly_coupled_spd()
+        t = TLRMatrix.from_dense(a, 30, accuracy=1e-6, storage="fp64")
+        for _, tile in t:
+            if isinstance(tile, LowRankTile):
+                assert tile.u.dtype == DTYPE
+
+    def test_copy_preserves_dtypes(self, mixed_tlr):
+        c = mixed_tlr.copy()
+        for (m, k), tile in mixed_tlr:
+            if isinstance(tile, LowRankTile):
+                assert c.tile(m, k).u.dtype == tile.u.dtype
+
+    def test_factorization_residual(self, mixed_tlr):
+        from repro.core import hicma_parsec_factorize
+
+        a = weakly_coupled_spd()
+        r = hicma_parsec_factorize(mixed_tlr.copy())
+        assert r.residual(a) < 1e-5
+
+
+class TestArenaMixedPrecision:
+    def test_fp32_tiles_roundtrip_byte_identical(self, mixed_tlr):
+        with TileArena.from_store(mixed_tlr) as arena:
+            for (m, k), tile in mixed_tlr:
+                got = arena.tile(m, k)
+                assert type(got) is type(tile)
+                if isinstance(tile, LowRankTile):
+                    assert got.u.dtype == tile.u.dtype
+                    assert got.v.dtype == tile.v.dtype
+                    assert got.u.tobytes() == tile.u.tobytes()
+                    assert got.v.tobytes() == tile.v.tobytes()
+
+    def test_materialize_preserves_dtypes(self, mixed_tlr):
+        with TileArena.from_store(mixed_tlr) as arena:
+            for (m, k), tile in mixed_tlr:
+                frozen = arena.materialize(m, k)
+                assert type(frozen) is type(tile)
+                if isinstance(tile, LowRankTile):
+                    assert frozen.u.dtype == tile.u.dtype
+                    assert frozen.u.tobytes() == tile.u.tobytes()
+
+    def test_snapshot_restore_roundtrips_fp32(self, mixed_tlr):
+        with TileArena.from_store(mixed_tlr) as arena:
+            tile = mixed_tlr.tile(2, 0)
+            snap = arena.snapshot([(2, 0)])
+            # clobber the slot with a different (fp64) tile, then roll back
+            arena.set_tile(
+                2,
+                0,
+                LowRankTile(
+                    LowRankFactor(
+                        np.ones((30, 1), dtype=DTYPE),
+                        np.ones((30, 1), dtype=DTYPE),
+                    )
+                ),
+            )
+            arena.restore(snap)
+            rebuilt = arena.tile(2, 0)
+            assert rebuilt.u.dtype == tile.u.dtype
+            assert rebuilt.u.tobytes() == tile.u.tobytes()
+            assert rebuilt.v.tobytes() == tile.v.tobytes()
+
+
+class TestSerializationMixedPrecision:
+    def test_roundtrip_preserves_dtype(self, mixed_tlr, tmp_path):
+        path = tmp_path / "mixed.npz"
+        save_tlr(mixed_tlr, path)
+        back = load_tlr(path)
+        for (m, k), tile in mixed_tlr:
+            if isinstance(tile, LowRankTile):
+                assert back.tile(m, k).u.dtype == tile.u.dtype
+        assert np.array_equal(back.to_dense(), mixed_tlr.to_dense())
+
+    def test_mixed_file_is_version_3(self, mixed_tlr, tmp_path):
+        path = tmp_path / "mixed.npz"
+        save_tlr(mixed_tlr, path)
+        with np.load(path) as data:
+            assert int(data["header"][0]) == 3
+
+    def test_fp64_file_stays_version_2(self, tmp_path):
+        a = weakly_coupled_spd()
+        t = TLRMatrix.from_dense(a, 30, accuracy=1e-6, storage="fp64")
+        path = tmp_path / "plain.npz"
+        save_tlr(t, path)
+        with np.load(path) as data:
+            assert int(data["header"][0]) == 2
+
+
+class TestIntegrityMixedPrecision:
+    def test_dtype_distinguishes_checksums(self, rng):
+        u = rng.standard_normal((8, 2))
+        v = rng.standard_normal((8, 2))
+        fp64 = LowRankTile(LowRankFactor(u, v))
+        fp32 = LowRankTile(
+            downcast_factor(LowRankFactor(u, v), STORAGE_DTYPE_SINGLE)
+        )
+        assert tile_checksum(fp64) != tile_checksum(fp32)
+
+    def test_bitflip_in_fp32_tile_detected(self, mixed_tlr):
+        ledger = matrix_checksums(mixed_tlr)
+        verify_matrix(mixed_tlr, ledger)  # clean matrix passes
+        victim = mixed_tlr.copy()
+        tile = victim.tile(2, 0)
+        assert tile.u.dtype == STORAGE_DTYPE_SINGLE
+        u = tile.u.copy()
+        u_bits = u.view(np.uint32)
+        u_bits[0, 0] ^= 1 << 20  # single bit flip in the fp32 payload
+        victim.set_tile(2, 0, LowRankTile(LowRankFactor(u, tile.v)))
+        with pytest.raises(TileIntegrityError):
+            verify_matrix(victim, ledger)

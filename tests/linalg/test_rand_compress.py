@@ -1,0 +1,322 @@
+"""Randomized compression: SVD parity, determinism, policy plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.lowrank import (
+    CompressionPolicy,
+    CompressionStats,
+    LowRankFactor,
+    compress_block,
+    derive_tile_seed,
+    randomized_compress,
+    randomized_recompress,
+    recompress,
+    resolve_compression,
+    truncated_svd,
+)
+
+
+def low_rank_block(rng, m, n, k, scale=1.0):
+    """An exactly rank-k block with singular values ~ scale."""
+    return scale * (rng.standard_normal((m, k)) @ rng.standard_normal((k, n)))
+
+
+class TestDeriveTileSeed:
+    def test_deterministic(self):
+        assert derive_tile_seed(7, 3, 1, gen=2) == derive_tile_seed(7, 3, 1, gen=2)
+
+    def test_64bit_range(self):
+        s = derive_tile_seed(123, 4, 2, gen=1)
+        assert 0 <= s < 2**64
+
+    def test_distinct_across_inputs(self):
+        seeds = {
+            derive_tile_seed(root, m, k, gen)
+            for root in (0, 1)
+            for m in range(4)
+            for k in range(4)
+            for gen in range(3)
+        }
+        assert len(seeds) == 2 * 4 * 4 * 3  # no collisions on this grid
+
+
+class TestCompressionPolicy:
+    def test_defaults(self):
+        p = CompressionPolicy()
+        assert p.method == "svd"
+        assert not p.randomized
+
+    def test_randomized_flag(self):
+        assert CompressionPolicy(method="rand").randomized
+
+    def test_tile_seed_uses_root(self):
+        a = CompressionPolicy(method="rand", seed_root=1)
+        b = CompressionPolicy(method="rand", seed_root=2)
+        assert a.tile_seed(3, 1) != b.tile_seed(3, 1)
+        assert a.tile_seed(3, 1) == derive_tile_seed(1, 3, 1, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"method": "qr"},
+            {"sample_block": 0},
+            {"oversample": -1},
+            {"crossover": 0.0},
+            {"crossover": 1.5},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            CompressionPolicy(**kwargs)
+
+
+class TestResolveCompression:
+    def test_policy_passthrough(self):
+        p = CompressionPolicy(method="rand", seed_root=9)
+        assert resolve_compression(p) is p
+
+    def test_method_name(self):
+        assert resolve_compression("rand", seed_root=5).randomized
+        assert resolve_compression("rand", seed_root=5).seed_root == 5
+
+    def test_none_defaults_to_svd(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPRESSION", raising=False)
+        assert resolve_compression(None).method == "svd"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPRESSION", "rand")
+        assert resolve_compression(None).randomized
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPRESSION", "rand")
+        assert resolve_compression("svd").method == "svd"
+
+    def test_bad_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_compression("aca")
+
+
+class TestCompressionStats:
+    def test_sampled_profile(self):
+        st = CompressionStats()
+        st.record_sampled(16)
+        st.record_sampled(32)
+        d = st.to_dict()
+        assert d["sampled_tiles"] == 2
+        assert d["sampled_rank_max"] == 32
+        assert d["sampled_rank_avg"] == 24.0
+
+    def test_empty_avg_is_zero(self):
+        assert CompressionStats().to_dict()["sampled_rank_avg"] == 0.0
+
+
+class TestRandomizedCompress:
+    @pytest.mark.parametrize("k", [1, 3, 7, 12])
+    @pytest.mark.parametrize("m,n", [(60, 60), (80, 50), (48, 72)])
+    def test_matches_svd_rank_and_accuracy(self, rng, m, n, k):
+        block = low_rank_block(rng, m, n, k)
+        svd = truncated_svd(block, tol=1e-8)
+        out = randomized_compress(block, tol=1e-8, seed=k + m)
+        assert isinstance(out, LowRankFactor)
+        assert out.rank == svd.rank == k
+        assert np.linalg.norm(out.to_dense() - block) <= 1e-6
+
+    @pytest.mark.parametrize("seed", [0, 1, 17, 2**63])
+    def test_rank_stable_across_seeds(self, rng, seed):
+        block = low_rank_block(rng, 64, 64, 5)
+        out = randomized_compress(block, tol=1e-8, seed=seed)
+        assert out.rank == 5
+
+    def test_bitwise_deterministic(self, rng):
+        block = low_rank_block(rng, 64, 64, 6)
+        a = randomized_compress(block, tol=1e-8, seed=42)
+        b = randomized_compress(block, tol=1e-8, seed=42)
+        assert a.u.tobytes() == b.u.tobytes()
+        assert a.v.tobytes() == b.v.tobytes()
+
+    def test_different_seeds_different_bases(self, rng):
+        block = low_rank_block(rng, 64, 64, 6) + 1e-7 * rng.standard_normal(
+            (64, 64)
+        )
+        a = randomized_compress(block, tol=1e-4, seed=1)
+        b = randomized_compress(block, tol=1e-4, seed=2)
+        # same rank, same approximation quality, different sample draws
+        assert a.rank == b.rank
+        assert a.u.tobytes() != b.u.tobytes()
+
+    def test_null_below_threshold(self, rng):
+        block = 1e-8 * rng.standard_normal((40, 40))
+        assert randomized_compress(block, tol=1e-4, seed=0) is None
+
+    def test_zero_block_is_null(self):
+        assert randomized_compress(np.zeros((30, 30)), tol=1e-8, seed=0) is None
+
+    def test_relative_mode(self, rng):
+        block = low_rank_block(rng, 50, 50, 3, scale=1e-6)
+        assert randomized_compress(block, tol=1e-4, seed=0) is None
+        f = randomized_compress(block, tol=1e-4, relative=True, seed=0)
+        assert f is not None and f.rank == 3
+
+    def test_over_budget_returns_dense_without_svd(self, rng):
+        stats = CompressionStats()
+        block = rng.standard_normal((64, 64))  # full rank
+        out = randomized_compress(
+            block, tol=1e-12, max_rank=5, seed=0, stats=stats
+        )
+        assert isinstance(out, np.ndarray)
+        assert np.array_equal(out, block)
+        assert stats.rand_dense == 1
+        assert stats.rand_svd_fallback == 0
+
+    def test_crossover_falls_back_to_svd(self, rng):
+        stats = CompressionStats()
+        block = rng.standard_normal((40, 40))  # rank 40 >> crossover
+        out = randomized_compress(block, tol=1e-12, seed=0, stats=stats)
+        assert stats.rand_svd_fallback == 1
+        # the fallback applies the identical truncation rule
+        direct = truncated_svd(block, tol=1e-12)
+        assert isinstance(out, LowRankFactor)
+        assert out.rank == direct.rank
+
+    def test_sampled_rank_recorded(self, rng):
+        stats = CompressionStats()
+        block = low_rank_block(rng, 64, 64, 4)
+        randomized_compress(block, tol=1e-8, seed=0, stats=stats)
+        assert stats.sampled_tiles == 1
+        # one 16-column panel suffices for rank 4
+        assert stats.sampled_rank_max == 16
+
+    def test_rejects_nonpositive_tol(self, rng):
+        with pytest.raises(ValueError):
+            randomized_compress(rng.standard_normal((8, 8)), tol=0.0)
+
+
+class TestCompressBlockDispatch:
+    def test_rand_policy_routes_to_sampler(self, rng):
+        stats = CompressionStats()
+        block = low_rank_block(rng, 60, 60, 3)
+        out = compress_block(
+            block,
+            tol=1e-8,
+            policy=CompressionPolicy(method="rand"),
+            seed=7,
+            stats=stats,
+        )
+        assert out.rank == 3
+        assert stats.rand_tiles == 1
+        assert stats.svd_tiles == 0
+
+    def test_rand_dispatch_is_seeded(self, rng):
+        block = low_rank_block(rng, 60, 60, 3)
+        pol = CompressionPolicy(method="rand")
+        a = compress_block(block, tol=1e-8, policy=pol, seed=7)
+        b = compress_block(block, tol=1e-8, policy=pol, seed=7)
+        assert a.u.tobytes() == b.u.tobytes()
+
+    def test_default_path_counts_svd(self, rng):
+        stats = CompressionStats()
+        compress_block(low_rank_block(rng, 30, 30, 2), tol=1e-8, stats=stats)
+        assert stats.svd_tiles == 1
+        assert stats.rand_tiles == 0
+
+    def test_probe_skips_svd_for_clearly_dense(self, rng):
+        stats = CompressionStats()
+        block = rng.standard_normal((128, 128))
+        out = compress_block(block, tol=1e-10, max_rank=8, stats=stats)
+        assert isinstance(out, np.ndarray)
+        assert stats.probe_dense == 1
+
+    def test_rand_agrees_with_svd_on_dense_fallback(self, rng):
+        block = rng.standard_normal((96, 96))
+        svd_out = compress_block(block, tol=1e-10, max_rank=8)
+        rnd_out = compress_block(
+            block,
+            tol=1e-10,
+            max_rank=8,
+            policy=CompressionPolicy(method="rand"),
+            seed=3,
+        )
+        assert isinstance(svd_out, np.ndarray)
+        assert isinstance(rnd_out, np.ndarray)
+        assert np.array_equal(svd_out, rnd_out)
+
+
+def stacked_factor(rng, m, n, ranks, tol=1e-12):
+    """A GEMM-style accumulation: sum of independent low-rank terms,
+    stored as horizontally stacked factors."""
+    parts = [
+        truncated_svd(low_rank_block(rng, m, n, k), tol=tol) for k in ranks
+    ]
+    return LowRankFactor(
+        np.hstack([p.u for p in parts]), np.hstack([p.v for p in parts])
+    )
+
+
+class TestRandomizedRecompress:
+    def test_matches_exact_recompress(self, rng):
+        f = stacked_factor(rng, 120, 120, [6, 5, 4, 3])  # K = 18 > 16
+        exact = recompress(f, tol=1e-9)
+        sampled = randomized_recompress(f, tol=1e-9, seed=11)
+        assert sampled.rank == exact.rank == 18
+        assert np.allclose(sampled.to_dense(), exact.to_dense(), atol=1e-7)
+
+    def test_rounds_redundant_rank(self, rng):
+        base = truncated_svd(low_rank_block(rng, 100, 100, 9), tol=1e-12)
+        # duplicate the factors: stored rank 27, numerical rank 9
+        f = LowRankFactor(
+            np.hstack([base.u, base.u, base.u]),
+            np.hstack([base.v, base.v, base.v]) / 3.0,
+        )
+        rounded = randomized_recompress(f, tol=1e-9, seed=5)
+        assert rounded.rank == 9
+        assert np.allclose(rounded.to_dense(), base.to_dense(), atol=1e-7)
+
+    def test_bitwise_deterministic(self, rng):
+        f = stacked_factor(rng, 100, 100, [8, 7, 6])
+        a = randomized_recompress(f, tol=1e-9, seed=21)
+        b = randomized_recompress(f, tol=1e-9, seed=21)
+        assert a.u.tobytes() == b.u.tobytes()
+        assert a.v.tobytes() == b.v.tobytes()
+
+    def test_small_rank_delegates_exactly(self, rng):
+        f = stacked_factor(rng, 60, 60, [3, 2])  # K = 5 <= sample_block
+        exact = recompress(f, tol=1e-9)
+        sampled = randomized_recompress(f, tol=1e-9, seed=1)
+        # delegated path: identical arithmetic, identical bytes
+        assert sampled.u.tobytes() == exact.u.tobytes()
+        assert sampled.v.tobytes() == exact.v.tobytes()
+
+    def test_high_rank_delegates_exactly(self, rng):
+        f = stacked_factor(rng, 40, 40, [10, 10])  # K = 20 >= 40 // 2
+        exact = recompress(f, tol=1e-9)
+        sampled = randomized_recompress(f, tol=1e-9, seed=1)
+        assert sampled.u.tobytes() == exact.u.tobytes()
+
+    def test_cancellation_to_null(self, rng):
+        base = truncated_svd(low_rank_block(rng, 80, 80, 9), tol=1e-12)
+        cancel = LowRankFactor(
+            np.hstack([base.u, -base.u]), np.hstack([base.v, base.v])
+        )
+        assert randomized_recompress(cancel, tol=1e-6, seed=0) is None
+
+    def test_relative_mode(self, rng):
+        f = stacked_factor(rng, 100, 100, [9, 8, 7], tol=1e-18)
+        scaled = LowRankFactor(1e-7 * f.u, f.v)
+        rel = randomized_recompress(scaled, tol=1e-6, relative=True, seed=2)
+        exact = recompress(scaled, tol=1e-6, relative=True)
+        assert rel is not None
+        assert rel.rank == exact.rank
+
+    def test_rank0_returned_untouched(self):
+        class EmptyFactor:
+            rank = 0
+            shape = (8, 8)
+
+        f = EmptyFactor()
+        assert randomized_recompress(f, tol=1e-8) is f
+
+    def test_rejects_nonpositive_tol(self, rng):
+        f = stacked_factor(rng, 30, 30, [2])
+        with pytest.raises(ValueError):
+            randomized_recompress(f, tol=-1.0)

@@ -1,0 +1,142 @@
+"""Property-based tests: randomized compression is SVD-equivalent.
+
+The randomized paths must be drop-in replacements for the exact ones:
+same detected rank, same accuracy guarantee, under every block shape,
+numerical rank and sample seed — and bitwise-deterministic in the
+seed, which is what makes them safe to run under any execution engine.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.lowrank import (
+    LowRankFactor,
+    randomized_compress,
+    randomized_recompress,
+    recompress,
+    truncated_svd,
+)
+
+SEEDS = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def synthetic_block(m, n, k, data_seed, noise=0.0):
+    """Exact rank-k block (plus optional noise floor) from a local rng,
+    decoupled from hypothesis' draw order."""
+    rng = np.random.default_rng(data_seed)
+    block = rng.standard_normal((m, k)) @ rng.standard_normal((k, n))
+    if noise:
+        block = block + noise * rng.standard_normal((m, n))
+    return block
+
+
+class TestRandomizedCompressProperties:
+    @given(
+        m=st.integers(40, 90),
+        n=st.integers(40, 90),
+        k=st.integers(1, 12),
+        data_seed=st.integers(0, 2**16),
+        seed=SEEDS,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rank_matches_svd(self, m, n, k, data_seed, seed):
+        block = synthetic_block(m, n, k, data_seed)
+        svd = truncated_svd(block, tol=1e-8)
+        rand = randomized_compress(block, tol=1e-8, seed=seed)
+        svd_rank = 0 if svd is None else svd.rank
+        rand_rank = 0 if rand is None else rand.rank
+        assert rand_rank == svd_rank
+
+    @given(
+        m=st.integers(40, 90),
+        n=st.integers(40, 90),
+        k=st.integers(1, 12),
+        data_seed=st.integers(0, 2**16),
+        seed=SEEDS,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_error_within_tolerance(self, m, n, k, data_seed, seed):
+        tol = 1e-6
+        block = synthetic_block(m, n, k, data_seed, noise=1e-9)
+        rand = randomized_compress(block, tol=tol, seed=seed)
+        assert rand is not None
+        # Frobenius-stop convergence: the sampled basis captures
+        # everything above the threshold, so the truncation error obeys
+        # the same bound as the SVD's (up to the discarded tail mass)
+        err = np.linalg.norm(block - rand.to_dense(), ord=2)
+        assert err <= tol * np.sqrt(min(m, n))
+
+    @given(
+        m=st.integers(30, 70),
+        k=st.integers(1, 8),
+        data_seed=st.integers(0, 2**16),
+        seed=SEEDS,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bitwise_deterministic_in_seed(self, m, k, data_seed, seed):
+        block = synthetic_block(m, m, k, data_seed)
+        a = randomized_compress(block, tol=1e-8, seed=seed)
+        b = randomized_compress(block, tol=1e-8, seed=seed)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.u.tobytes() == b.u.tobytes()
+            assert a.v.tobytes() == b.v.tobytes()
+
+    @given(
+        data_seed=st.integers(0, 2**16),
+        seed=SEEDS,
+        scale=st.floats(1e-9, 1e-7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_negligible_blocks_disappear(self, data_seed, seed, scale):
+        block = scale * synthetic_block(40, 40, 3, data_seed)
+        assert randomized_compress(block, tol=1e-4, seed=seed) is None
+
+
+class TestRandomizedRecompressProperties:
+    @given(
+        m=st.integers(80, 140),
+        ks=st.lists(st.integers(2, 8), min_size=3, max_size=5),
+        data_seed=st.integers(0, 2**16),
+        seed=SEEDS,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_exact_rounding(self, m, ks, data_seed, seed):
+        rng = np.random.default_rng(data_seed)
+        parts = [
+            truncated_svd(
+                rng.standard_normal((m, k)) @ rng.standard_normal((k, m)),
+                tol=1e-12,
+            )
+            for k in ks
+        ]
+        stacked = LowRankFactor(
+            np.hstack([p.u for p in parts]), np.hstack([p.v for p in parts])
+        )
+        exact = recompress(stacked, tol=1e-9)
+        sampled = randomized_recompress(stacked, tol=1e-9, seed=seed)
+        assert sampled.rank == exact.rank
+        assert np.allclose(sampled.to_dense(), exact.to_dense(), atol=1e-6)
+
+    @given(
+        m=st.integers(80, 140),
+        k=st.integers(6, 10),
+        copies=st.integers(3, 4),
+        data_seed=st.integers(0, 2**16),
+        seed=SEEDS,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_redundant_rank_recovered(self, m, k, copies, data_seed, seed):
+        rng = np.random.default_rng(data_seed)
+        base = truncated_svd(
+            rng.standard_normal((m, k)) @ rng.standard_normal((k, m)),
+            tol=1e-12,
+        )
+        stacked = LowRankFactor(
+            np.hstack([base.u] * copies),
+            np.hstack([base.v] * copies) / copies,
+        )
+        rounded = randomized_recompress(stacked, tol=1e-9, seed=seed)
+        assert rounded.rank == k
+        assert np.allclose(rounded.to_dense(), base.to_dense(), atol=1e-6)

@@ -109,3 +109,71 @@ class TestBuild:
             built.factor.to_dense(symmetrize=False),
             built.operator.to_dense(symmetrize=False),
         )
+
+
+class TestPolicyKnobs:
+    def test_default_fingerprint_has_no_policy_fields(
+        self, small_spec, monkeypatch
+    ):
+        # the svd/fp64 defaults keep the pre-existing fingerprint, so
+        # cache entries built before the knobs existed stay valid
+        monkeypatch.delenv("REPRO_COMPRESSION", raising=False)
+        monkeypatch.delenv("REPRO_STORAGE_PRECISION", raising=False)
+        default = clone(small_spec)
+        assert default.compression == "svd"
+        assert default.storage_precision == "fp64"
+        explicit = clone(
+            small_spec, compression="svd", storage_precision="fp64"
+        )
+        assert explicit.fingerprint == default.fingerprint
+
+    def test_compression_changes_fingerprint(self, small_spec):
+        assert (
+            clone(small_spec, compression="rand").fingerprint
+            != clone(small_spec, compression="svd").fingerprint
+        )
+
+    def test_storage_precision_changes_fingerprint(self, small_spec):
+        assert (
+            clone(small_spec, storage_precision="mixed").fingerprint
+            != clone(small_spec, storage_precision="fp64").fingerprint
+        )
+
+    def test_env_default_is_pinned_at_construction(
+        self, small_spec, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_COMPRESSION", "rand")
+        monkeypatch.setenv("REPRO_STORAGE_PRECISION", "mixed")
+        spec = clone(small_spec)
+        assert spec.compression == "rand"
+        assert spec.storage_precision == "mixed"
+        fp = spec.fingerprint
+        # the env can change later; the spec's identity cannot
+        monkeypatch.delenv("REPRO_COMPRESSION")
+        monkeypatch.delenv("REPRO_STORAGE_PRECISION")
+        assert spec.fingerprint == fp
+        default = clone(
+            small_spec, compression="svd", storage_precision="fp64"
+        )
+        assert fp != default.fingerprint
+
+    def test_invalid_policy_names_fail_fast(self, small_spec):
+        with pytest.raises(ValueError):
+            clone(small_spec, compression="aca")
+        with pytest.raises(ValueError):
+            clone(small_spec, storage_precision="fp8")
+
+    def test_rand_build_matches_svd_solve(self, small_spec, rhs):
+        from repro.core.solver import solve_cholesky
+        from repro.linalg.matvec import tlr_matvec
+
+        built = clone(small_spec, compression="rand").build()
+        x = solve_cholesky(built.factor, rhs)
+        res = np.linalg.norm(tlr_matvec(built.operator, x) - rhs)
+        assert res / np.linalg.norm(rhs) < 1e-5
+
+    def test_rand_rebuild_bitwise_identical(self, small_spec):
+        spec = clone(small_spec, compression="rand")
+        a = spec.build().factor.to_dense(symmetrize=False)
+        b = spec.build().factor.to_dense(symmetrize=False)
+        assert np.array_equal(a, b)
