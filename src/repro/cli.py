@@ -157,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="execution backend for cache-miss "
                          "factorizations (default $REPRO_ENGINE)")
     sv.add_argument("--backlog", type=int, default=256)
+    sv.add_argument("--max-inflight", type=int, default=None,
+                    help="admission-control cap on in-flight requests; "
+                         "excess submissions shed with a Retry-After "
+                         "hint (default: uncapped)")
+    sv.add_argument("--request-timeout", type=float, default=None,
+                    help="per-request deadline in seconds, propagated "
+                         "through every pipeline stage (default: none)")
+    sv.add_argument("--drain", action="store_true",
+                    help="after serving, run the graceful drain "
+                         "protocol (stop admissions, flush, seal the "
+                         "cache for warm handoff) and print its summary")
     sv.add_argument("--max-batch", type=int, default=16)
     sv.add_argument("--max-wait", type=float, default=0.005,
                     help="batching window in seconds")
@@ -426,6 +437,10 @@ def _cmd_serve(args) -> int:
             )
         )
     rng = np.random.default_rng(args.seed)
+    from repro.service import ServiceError
+
+    shed = 0
+    drain_summary = None
     with SolveService(
         cache=cache,
         workers=args.workers,
@@ -434,18 +449,33 @@ def _cmd_serve(args) -> int:
         max_wait=args.max_wait,
         factor_workers=args.factor_workers,
         factor_engine=args.factor_engine,
+        max_inflight=args.max_inflight,
     ) as svc:
         handles = []
         for i in range(args.requests):
             spec = specs[i % len(specs)]
-            if i % 8 == 7:
-                handles.append(svc.submit_logdet(spec))
-            else:
-                handles.append(
-                    svc.submit_solve(spec, rng.standard_normal(spec.n))
-                )
+            try:
+                if i % 8 == 7:
+                    handles.append(
+                        svc.submit_logdet(spec, timeout=args.request_timeout)
+                    )
+                else:
+                    handles.append(
+                        svc.submit_solve(
+                            spec,
+                            rng.standard_normal(spec.n),
+                            timeout=args.request_timeout,
+                        )
+                    )
+            except ServiceError:
+                shed += 1  # admission control: typed, synchronous
         for h in handles:
-            h.result()
+            try:
+                h.result()
+            except ServiceError:
+                shed += 1  # expired in the pipeline: typed, async
+        if args.drain:
+            drain_summary = svc.drain()
         snapshot = svc.metrics.to_dict()
         if args.trace:
             names = {0: "dispatcher"}
@@ -467,6 +497,16 @@ def _cmd_serve(args) -> int:
     for kind, lat in sorted(snapshot["latency_seconds"].items()):
         print(f"latency[{kind}]: p50 {lat['p50']*1e3:.1f} ms, "
               f"p90 {lat['p90']*1e3:.1f} ms, p99 {lat['p99']*1e3:.1f} ms")
+    if shed:
+        print(f"shed/expired: {shed} "
+              f"(admission={c.get('shed_admission', 0)}, "
+              f"backlog={c.get('rejected_backlog', 0)}, "
+              f"expired={c.get('expired', 0)})")
+    if drain_summary is not None:
+        print(f"drain: completed={drain_summary['drained']} "
+              f"in {drain_summary['drain_seconds']*1e3:.0f} ms, "
+              f"sealed {drain_summary['sealed_entries']} cache entries, "
+              f"{drain_summary['inflight_remaining']} left in flight")
     if args.trace:
         print(f"trace written to {args.trace}")
     return 0

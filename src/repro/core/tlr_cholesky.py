@@ -66,6 +66,9 @@ class FactorizationResult:
     checkpoints_written: int = 0
     #: corrupt tiles healed in place from last-known-good references
     tiles_healed: int = 0
+    #: replacement workers forked by the mp engine's supervisor after
+    #: real worker deaths or hangs (0 for in-process engines)
+    workers_respawned: int = 0
 
     @property
     def elapsed(self) -> float:
@@ -294,4 +297,7 @@ def tlr_cholesky(
             manager.checkpoints_written if manager is not None else 0
         ),
         tiles_healed=manager.tiles_healed if manager is not None else 0,
+        workers_respawned=getattr(eng, "last_run_supervision", {}).get(
+            "respawns", 0
+        ),
     )

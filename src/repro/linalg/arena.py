@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -106,6 +107,17 @@ def spill_factor_from_env() -> float:
     if factor < 0.0:
         raise ValueError(f"{SPILL_FACTOR_ENV} must be >= 0, got {env!r}")
     return factor
+
+
+def _unlink_segments(payload, desc, creator_pid: int) -> None:
+    """Finalizer body: unlink both segments, creator process only."""
+    if os.getpid() != creator_pid:
+        return
+    for seg in (payload, desc):
+        try:
+            seg.unlink()
+        except FileNotFoundError:
+            pass
 
 
 def _pack_order(a: np.ndarray) -> tuple[np.ndarray, int]:
@@ -194,6 +206,21 @@ class TileArena:
         #: reads ``compression`` to pick its rounding method and seeds.
         self.compression = None
         self.storage = None
+        # Last-resort leak defense: if the owning coordinator exits
+        # abnormally (unhandled exception, sys.exit) without reaching
+        # its `finally: arena.unlink()`, this finalizer unlinks the
+        # segments at GC or interpreter exit so the CI /dev/shm leak
+        # check stays green.  Pid-guarded because forked workers
+        # inherit the object (and its finalizer) but must never unlink
+        # segments the coordinator still serves; detached on the
+        # normal unlink() path.
+        self._finalizer = (
+            weakref.finalize(
+                self, _unlink_segments, payload, desc, os.getpid()
+            )
+            if owner
+            else None
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -548,9 +575,32 @@ class TileArena:
         self._payload.close()
         self._desc_shm.close()
 
+    def break_lock(self) -> bool:
+        """Force-release the spill-allocator lock if its holder died.
+
+        A worker SIGKILLed inside :meth:`_spill_alloc` (a
+        microseconds-wide window, but a kill can land anywhere) leaves
+        the shared lock held forever; every surviving worker's next
+        spill allocation would then deadlock.  The supervisor calls
+        this after confirming the holder is dead.  POSIX semaphores
+        are releasable from any process, so a plain ``release`` frees
+        an orphaned hold; returns True when a stuck lock was broken.
+        """
+        if self._lock.acquire(timeout=0.2):
+            self._lock.release()
+            return False
+        try:
+            self._lock.release()
+            return True
+        except (ValueError, OSError):  # pragma: no cover - platform
+            return False
+
     def unlink(self) -> None:
         """Destroy the segments (owner/coordinator only, after close)."""
         if self._owner:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
             self._payload.unlink()
             self._desc_shm.unlink()
 

@@ -69,6 +69,20 @@ class CostModel:
         rate = min(m.core_gemm_flops, ai * m.core_mem_bandwidth) * efficiency
         return m.task_overhead + flops / rate
 
+    def kernel_seconds(self, flops: float) -> float:
+        """Compute-bound floor estimate for one kernel of ``flops``.
+
+        Used by the stall watchdog to scale its timeout: a kernel this
+        model predicts will run for seconds must not be declared
+        stalled on a timeout tuned for millisecond tiles.  The roofline
+        memory term is deliberately ignored — it would only *lengthen*
+        the estimate, and the watchdog already multiplies by a generous
+        safety factor, so the flop term alone sets the scale.
+        """
+        m = self.machine
+        rate = m.core_gemm_flops * m.tlr_kernel_efficiency
+        return m.task_overhead + max(float(flops), 0.0) / rate
+
     def potrf_time(self, b: int) -> float:
         return self._exec_seconds(fl.potrf_flops(b), _ITEM * b * b)
 

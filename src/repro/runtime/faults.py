@@ -42,6 +42,7 @@ from repro.runtime.task import Task
 
 __all__ = [
     "FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "TransientKernelError",
     "TileCorruptionError",
     "InjectedCrashError",
@@ -55,7 +56,21 @@ __all__ = [
 ]
 
 #: Supported injected failure modes.
-FAULT_KINDS = ("transient", "delay", "corrupt", "crash", "bitflip")
+FAULT_KINDS = (
+    "transient",
+    "delay",
+    "corrupt",
+    "crash",
+    "bitflip",
+    "worker_kill",
+    "worker_hang",
+)
+
+#: Kinds that end (or wedge) the executing *process* rather than fail
+#: the task.  Their decisions are re-drawn with the dispatch epoch (see
+#: :attr:`FaultInjector.epoch`), so a supervised replacement worker is
+#: not doomed to die on the same task forever.
+PROCESS_FAULT_KINDS = ("crash", "worker_kill", "worker_hang")
 
 
 class TransientKernelError(RuntimeError):
@@ -273,11 +288,34 @@ class FaultInjector:
       already-produced tile: a memory bit flip).  Nothing is raised —
       without checksum verification (``REPRO_VERIFY_TILES=1``) the
       corruption flows undetected into the factor.
+    * ``worker_kill`` — the executing *worker process* dies by real
+      ``SIGKILL`` (negative exit code, exactly what the OOM killer
+      produces) at dispatch, before the kernel runs.  Only acts when
+      ``in_worker`` is set (the process-pool engine's forked workers);
+      in-process engines ignore it — killing the caller would model
+      nothing.  Recovery is the supervisor's job: requeue, restore,
+      respawn.
+    * ``worker_hang`` — the worker wedges at dispatch (sleeps
+      indefinitely), modeling a livelocked kernel or a lost worker.
+      Detected by the supervisor's per-task hang budget and resolved
+      with a real ``SIGKILL``.  Like ``worker_kill``, a no-op outside
+      forked workers.
     """
 
     def __init__(self, plan: FaultPlan, hard_crash: bool = False) -> None:
         self.plan = plan
         self.hard_crash = bool(hard_crash)
+        #: set by the process-pool engine inside each forked worker —
+        #: gates the whole-worker fault kinds (worker_kill/worker_hang)
+        #: that make no sense in the coordinator or in-process engines.
+        self.in_worker = False
+        #: dispatch epoch of the task being invoked (the coordinator's
+        #: redispatch count, carried on the task message).  Process-fate
+        #: kinds re-draw their decision at ``attempt + epoch``: without
+        #: the shift, a deterministic plan would kill every respawned
+        #: replacement on the same task and supervision could never
+        #: converge.  Epoch 0 leaves every decision bitwise-unchanged.
+        self.epoch = 0
         self.counters: Counter[str] = Counter()
         #: tile keys the most recent ``invoke`` bitflipped — consumers
         #: (the mp engine's post-kernel operand re-check) use it to
@@ -303,6 +341,15 @@ class FaultInjector:
         attempt: int = 0,
     ) -> None:
         faults = self.plan.decide(task, attempt)
+        if self.epoch:
+            # Re-draw only the process-fate kinds at the shifted
+            # attempt; every task-level decision (transient, corrupt,
+            # bitflip, delay) keeps its original, engine-independent
+            # sequence so retried runs stay bitwise-reproducible.
+            shifted = self.plan.decide(task, attempt + self.epoch)
+            faults = tuple(
+                r for r in faults if r.kind not in PROCESS_FAULT_KINDS
+            ) + tuple(r for r in shifted if r.kind in PROCESS_FAULT_KINDS)
         self.flipped_reads = []
         for rule in faults:
             if rule.kind == "delay":
@@ -318,6 +365,18 @@ class FaultInjector:
                 raise InjectedCrashError(
                     f"injected process crash at {task} (attempt {attempt})"
                 )
+        if self.in_worker:
+            for rule in faults:
+                if rule.kind == "worker_kill":
+                    import os
+                    import signal
+
+                    self._count("worker_kill", task.klass)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if rule.kind == "worker_hang":
+                    self._count("worker_hang", task.klass)
+                    while True:  # wedge until the supervisor SIGKILLs us
+                        time.sleep(60.0)
         for rule in faults:
             if rule.kind == "transient":
                 self._count("transient", task.klass)

@@ -49,6 +49,7 @@ __all__ = [
     "resolve_engine",
     "engine_for",
     "stall_timeout_from_env",
+    "scaled_stall_timeout",
 ]
 
 #: Environment variable supplying the default worker count (used by the
@@ -114,6 +115,41 @@ def stall_timeout_from_env() -> float | None:
         return None
     timeout = float(env)
     return timeout if timeout > 0.0 else None
+
+
+#: Safety multiplier applied to the cost model's longest-kernel
+#: estimate when scaling the stall timeout.  Generous on purpose: the
+#: model is a compute-bound floor calibrated for Shaheen-II cores, and
+#: CI machines are slower and noisier.
+_STALL_SAFETY = 25.0
+
+
+def scaled_stall_timeout(base: float | None, graph) -> float | None:
+    """Scale a stall timeout by the predicted longest kernel in ``graph``.
+
+    A fixed ``$REPRO_STALL_TIMEOUT`` tuned on small tiles false-fires
+    on large-tile POTRF/GEMM tasks that are still making progress —
+    the watchdog only sees "no retirement in T seconds", and a single
+    8192-tile POTRF legitimately takes that long.  The fix: never let
+    the effective timeout drop below ``_STALL_SAFETY`` times the cost
+    model's estimate for the most expensive single task in the graph.
+
+    ``base is None`` (watchdog disabled) stays ``None``; the scaled
+    value is never *smaller* than ``base``, so tightening is
+    impossible — only false-positive relief.
+    """
+    if base is None:
+        return None
+    base = float(base)
+    tasks = getattr(graph, "tasks", None)
+    if not tasks:
+        return base
+    from repro.machine.costmodel import CostModel
+    from repro.machine.models import SHAHEEN_II
+
+    model = CostModel(SHAHEEN_II)
+    longest = max(model.kernel_seconds(t.flops) for t in tasks)
+    return max(base, _STALL_SAFETY * longest)
 
 
 def resolve_engine(engine: str | None = None) -> str:
@@ -533,7 +569,7 @@ class ParallelExecutionEngine(ExecutionEngine):
         if self.stall_timeout is not None:
             monitor = threading.Thread(
                 target=watchdog,
-                args=(float(self.stall_timeout),),
+                args=(scaled_stall_timeout(self.stall_timeout, graph),),
                 name="tlr-stall-watchdog",
                 daemon=True,
             )

@@ -15,20 +15,32 @@ Architecture
   :class:`~repro.linalg.arena.TileArena` shared-memory segments,
   created by the coordinator before forking.  Workers map the same
   physical pages; task messages carry ``(task index, expected operand
-  checksums)`` — kernel id and tile keys, never tile payloads.
+  checksums, dispatch epoch)`` — kernel id and tile keys, never tile
+  payloads.
 * **Workers** — forked processes inheriting the registered kernels and
   the task graph (closures need no pickling under ``fork``).  Each
-  loops: pull a task index from the shared task queue, run the kernel
-  against arena-backed tile views (fault injection, retry with
-  arena-byte rollback, and operand checksum verification all happen
-  *in the worker*), and send a small retirement message back.
+  loops: pull a task from its *own* lane queue, run the kernel against
+  arena-backed tile views (fault injection, retry with arena-byte
+  rollback, and operand checksum verification all happen *in the
+  worker*), and send a small retirement message back.
 * **Coordinator** — keeps the exact CV-driven ready-pool discipline of
   the threaded engine: the scheduler policy orders the ready pool, and
-  at most one task per idle worker is in the queue, so priority order
-  is respected.  On retirement it materializes the task's written
-  tiles out of the arena into the caller's matrix (a private copy,
-  immune to later in-place slot rewrites), records checksums, feeds
-  the checkpoint manager, releases successors, and dispatches.
+  at most one task per idle worker is in flight, so priority order is
+  respected.  On retirement it materializes the task's written tiles
+  out of the arena into the caller's matrix (a private copy, immune to
+  later in-place slot rewrites), records checksums, feeds the
+  checkpoint manager, releases successors, and dispatches.
+* **Supervisor** — per-lane task queues make the coordinator's view of
+  worker state exact: it always knows which task each worker holds.
+  :class:`~repro.runtime.supervisor.WorkerSupervisor` watches pid
+  liveness and per-task hang budgets; a worker lost to a real
+  ``SIGKILL`` (or wedged past the hang budget, which earns it one) is
+  *recovered*, not fatal: its in-flight task is requeued, the task's
+  write slots are rewound from the coordinator's private tiles (an
+  in-place kernel may have torn them), and a replacement process is
+  forked onto the existing arena segments.  The factor stays bitwise
+  identical because replayed tasks see exactly the operands the dead
+  worker saw.
 
 Invariants preserved from the threaded engine:
 
@@ -40,15 +52,18 @@ Invariants preserved from the threaded engine:
   in place, so reference snapshots would alias);
 * **fault injection** — the plan is a pure function of
   ``(seed, rule, task, attempt)``, so worker-side decisions replay the
-  serial sequence exactly; counters are merged back per retirement;
+  serial sequence exactly; counters are merged back per retirement.
+  Process-fate kinds additionally shift by the dispatch epoch, so a
+  respawned replacement is not doomed to re-die on the same task;
 * **checkpoint capture** and **ABFT checksum verification** — operand
   digests ride along with the task message; a corrupt operand fails
   the task in the worker, and the coordinator heals the arena from the
   checkpoint's last-known-good tile and re-dispatches;
-* a worker hard-crash (``os._exit(137)`` fault kind) takes the
+* a worker hard-crash (``os._exit(137)`` fault kind) still takes the
   coordinator down with the same exit code — SIGKILL semantics — after
   unlinking the shared segments, so recovery flows through the
-  checkpoint/restart layer just like the in-process engines.
+  checkpoint/restart layer just like the in-process engines.  Only
+  *real* signal deaths (negative exit codes) and hangs are supervised.
 """
 
 from __future__ import annotations
@@ -70,7 +85,9 @@ from repro.runtime.faults import (
     restore_writes,
     snapshot_writes,
 )
+from repro.runtime.parallel import scaled_stall_timeout
 from repro.runtime.scheduler import Scheduler
+from repro.runtime.supervisor import WorkerSupervisor
 from repro.runtime.task import Task
 from repro.runtime.tracing import Trace, TraceEvent
 
@@ -84,7 +101,8 @@ _MAX_HEALS_PER_TASK = 2
 
 
 class WorkerCrashError(RuntimeError):
-    """A worker process died without sending a retirement message."""
+    """A worker process died and supervision could not (or may not)
+    recover it — respawn budget exhausted or supervision disabled."""
 
 
 def _picklable(exc: BaseException) -> BaseException:
@@ -112,9 +130,26 @@ class MultiprocessExecutionEngine(ExecutionEngine):
     worker-side writes to such a store stay process-local.
 
     Parameters mirror :class:`~repro.runtime.parallel.
-    ParallelExecutionEngine`; ``spill_factor`` additionally scales the
-    arena's over-cap spill region (default ``$REPRO_ARENA_SPILL`` or
-    1.5x the all-dense payload size).
+    ParallelExecutionEngine`, plus:
+
+    spill_factor:
+        Scales the arena's over-cap spill region (default
+        ``$REPRO_ARENA_SPILL`` or 1.5x the all-dense payload size).
+    supervise:
+        Recover from real worker deaths (``SIGKILL``, OOM kills) and
+        hangs by requeueing the lost task, rewinding its write slots,
+        and re-forking a replacement onto the existing arena.  Injected
+        hard crashes (exit 137) are still mirrored — that is the
+        checkpoint/restart contract.  ``False`` restores the fail-fast
+        behavior (:class:`WorkerCrashError` on any silent death).
+    max_respawns:
+        Total replacement workers per run (default ``2 * workers + 2``)
+        — a crash loop surfaces instead of respawning forever.
+    hang_timeout:
+        Seconds one task may hold a worker before the supervisor
+        declares it hung and SIGKILLs it into the recovery path.
+        Default: 80% of the (cost-model-scaled) stall timeout when one
+        is configured, else disabled.
     """
 
     def __init__(
@@ -126,6 +161,9 @@ class MultiprocessExecutionEngine(ExecutionEngine):
         stall_timeout: float | None = None,
         verify_tiles: bool | None = None,
         spill_factor: float | None = None,
+        supervise: bool = True,
+        max_respawns: int | None = None,
+        hang_timeout: float | None = None,
     ) -> None:
         super().__init__(
             scheduler,
@@ -139,6 +177,14 @@ class MultiprocessExecutionEngine(ExecutionEngine):
             raise ValueError(
                 f"stall_timeout must be positive or None, got {stall_timeout}"
             )
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0 or None, got {max_respawns}"
+            )
+        if hang_timeout is not None and hang_timeout <= 0.0:
+            raise ValueError(
+                f"hang_timeout must be positive or None, got {hang_timeout}"
+            )
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
                 "MultiprocessExecutionEngine needs the 'fork' start method "
@@ -147,8 +193,15 @@ class MultiprocessExecutionEngine(ExecutionEngine):
         self.workers = int(workers)
         self.stall_timeout = stall_timeout
         self.spill_factor = spill_factor
-        #: lane -> OS pid of the worker that ran it (filled per run)
+        self.supervise = bool(supervise)
+        self.max_respawns = max_respawns
+        self.hang_timeout = hang_timeout
+        #: lane -> OS pid of the worker that ran it (filled per run,
+        #: updated when a lane is respawned)
         self.worker_pids: dict[int, int] = {}
+        #: supervision counters of the most recent run (respawns,
+        #: hung_killed, tasks_requeued, tiles_restored, stale_results)
+        self.last_run_supervision: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # worker side
@@ -264,13 +317,19 @@ class MultiprocessExecutionEngine(ExecutionEngine):
         """Worker process body: serve tasks until the ``None`` sentinel."""
         store = arena if arena is not None else data
         injector = self.fault_injector
+        if injector is not None:
+            # Arms the whole-worker fault kinds (worker_kill /
+            # worker_hang): only a forked worker may act on them.
+            injector.in_worker = True
         while True:
             msg = task_q.get()
             if msg is None:
                 return
-            idx, expected = msg
+            idx, expected, epoch = msg
             task = graph.tasks[idx]
             kernel = self._kernels[task.klass]
+            if injector is not None:
+                injector.epoch = epoch
             counter_base = dict(injector.counters) if injector else None
             report_base = [set(r) for r in self._reports]
             start = time.perf_counter()
@@ -279,7 +338,9 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                     task, kernel, store, arena, expected
                 )
             except BaseException as exc:
-                result_q.put((lane, idx, None, _picklable(exc), None, None, 0.0, 0.0))
+                result_q.put(
+                    (lane, idx, epoch, None, _picklable(exc), None, None, 0.0, 0.0)
+                )
                 continue
             end = time.perf_counter()
             counters = None
@@ -294,7 +355,7 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                 for r, base in zip(self._reports, report_base)
             ]
             result_q.put(
-                (lane, idx, attempts, None, counters, reports, start, end)
+                (lane, idx, epoch, attempts, None, counters, reports, start, end)
             )
 
     # ------------------------------------------------------------------
@@ -349,6 +410,22 @@ class MultiprocessExecutionEngine(ExecutionEngine):
             healed += 1
         return healed
 
+    def _rewind_writes(self, task: Task, arena, data, supervisor) -> None:
+        """Restore the pre-task bytes of a lost task's write slots.
+
+        ``data`` always holds the last *retired* value of every tile
+        (retirement materializes arena -> data, and the DAG's WAW/RAW
+        edges guarantee the previous writer retired before this task
+        dispatched), so republishing ``data``'s tiles rewinds any
+        partial in-place write the dead worker left in the arena.
+        Read-only operands need no rewind: kernels never mutate them.
+        """
+        if arena is None:
+            return
+        for key in sorted(set(task.writes)):
+            arena.set_tile(*key, data.tile(*key))
+            supervisor.tiles_restored += 1
+
     def run(
         self,
         graph: TaskGraph,
@@ -361,15 +438,18 @@ class MultiprocessExecutionEngine(ExecutionEngine):
         Same contract as the threaded engine: fail-fast on the first
         kernel exception, ``KeyError`` for unregistered task classes,
         diagnostic ``ValueError`` on stalls, checkpoint frontiers
-        skipped and flushed on cadence.  Additionally raises
-        :class:`WorkerCrashError` if a worker process dies silently —
-        except exit code 137 (the injected hard crash), which the
-        coordinator mirrors.
+        skipped and flushed on cadence.  A worker killed by a real
+        signal (or hung past ``hang_timeout``) is supervised back to
+        health — task requeued, torn tiles rewound, replacement forked
+        — up to ``max_respawns`` times, after which (or with
+        ``supervise=False``) :class:`WorkerCrashError` surfaces.  Exit
+        code 137 (the injected hard crash) is still mirrored.
         """
         if trace is None:
             trace = Trace()
         self.last_run_retries = 0
         self.last_run_resumed = 0
+        self.last_run_supervision = {}
         self.worker_pids = {}
         n = len(graph)
         if n == 0:
@@ -402,22 +482,46 @@ class MultiprocessExecutionEngine(ExecutionEngine):
             else None
         )
 
+        stall_timeout = scaled_stall_timeout(self.stall_timeout, graph)
+        hang_timeout = self.hang_timeout
+        if hang_timeout is None and self.supervise and stall_timeout is not None:
+            # Fire before the run-level stall watchdog would: a single
+            # wedged worker should be recovered, not abort the run.
+            hang_timeout = 0.8 * stall_timeout
+
         ctx = multiprocessing.get_context("fork")
-        task_q = ctx.SimpleQueue()
         result_q = ctx.Queue()
         num_workers = min(self.workers, target)
-        procs = [
-            ctx.Process(
+        budget = (
+            self.max_respawns
+            if self.max_respawns is not None
+            else 2 * num_workers + 2
+        ) if self.supervise else 0
+        supervisor = WorkerSupervisor(
+            max_respawns=budget, hang_timeout=hang_timeout
+        )
+        lane_queues: dict[int, object] = {}
+        procs: dict[int, object] = {}
+
+        def spawn(lane: int) -> None:
+            # A fresh lane queue per (re)spawn: a task message the dead
+            # worker never pulled must not reach its replacement — the
+            # coordinator requeues it explicitly, exactly once.
+            q = ctx.SimpleQueue()
+            p = ctx.Process(
                 target=self._worker_main,
-                args=(lane, graph, data, arena, task_q, result_q),
+                args=(lane, graph, data, arena, q, result_q),
                 name=f"tlr-mp-worker-{lane}",
                 daemon=True,
             )
-            for lane in range(num_workers)
-        ]
-        for p in procs:
+            lane_queues[lane] = q
+            procs[lane] = p
             p.start()
-        self.worker_pids = {lane: p.pid for lane, p in enumerate(procs)}
+            self.worker_pids[lane] = p.pid
+            supervisor.attach(lane, p)
+
+        for lane in range(num_workers):
+            spawn(lane)
 
         scheduler = self.scheduler
         for i in range(n):
@@ -427,6 +531,13 @@ class MultiprocessExecutionEngine(ExecutionEngine):
         completed = 0
         retries = 0
         outstanding: dict[int, Task] = {}
+        #: lane -> task index currently dispatched to it
+        lane_task: dict[int, int] = {}
+        #: task index -> dispatch epoch (bumped per supervised requeue;
+        #: a stale retirement from a killed worker carries the old
+        #: epoch and is dropped instead of double-retiring the task)
+        task_epoch: dict[int, int] = {}
+        idle: set[int] = set(range(num_workers))
         heals: dict[int, int] = {}
         failure: BaseException | None = None
         mirror_hard_crash = False
@@ -435,12 +546,47 @@ class MultiprocessExecutionEngine(ExecutionEngine):
 
         def dispatch() -> None:
             nonlocal last_progress
-            while scheduler and len(outstanding) < num_workers:
+            while scheduler and idle:
                 i = scheduler.pop()
+                lane = min(idle)
+                idle.remove(lane)
                 task = graph.tasks[i]
                 outstanding[i] = task
-                task_q.put((i, self._expected_for(task, ledger) if verify else None))
+                lane_task[lane] = i
+                supervisor.task_dispatched(lane, i)
+                lane_queues[lane].put(
+                    (
+                        i,
+                        self._expected_for(task, ledger) if verify else None,
+                        task_epoch.get(i, 0),
+                    )
+                )
                 last_progress = time.monotonic()
+
+        def recover(f) -> None:
+            """Supervised recovery of one dead/hung lane."""
+            nonlocal last_progress
+            idx = lane_task.pop(f.lane, None)
+            idle.discard(f.lane)
+            if idx is not None:
+                task = outstanding.pop(idx, None)
+                if task is not None:
+                    self._rewind_writes(task, arena, data, supervisor)
+                    task_epoch[idx] = task_epoch.get(idx, 0) + 1
+                    scheduler.push(idx, task)
+                    supervisor.tasks_requeued += 1
+            if arena is not None:
+                # The dead worker may have held the spill-allocator
+                # lock (a microseconds-wide window, but a SIGKILL can
+                # land anywhere); break it rather than deadlock every
+                # surviving worker's next spill allocation.
+                arena.break_lock()
+            old = procs[f.lane]
+            old.join(timeout=1.0)
+            spawn(f.lane)
+            supervisor.record_respawn(f.lane)
+            idle.add(f.lane)
+            last_progress = time.monotonic()
 
         try:
             dispatch()
@@ -458,32 +604,48 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                 try:
                     msg = result_q.get(timeout=_POLL_SECONDS)
                 except queue_mod.Empty:
-                    dead = [
-                        (lane, p.exitcode)
-                        for lane, p in enumerate(procs)
-                        if p.exitcode is not None
-                    ]
-                    if dead and outstanding:
-                        if any(code == 137 for _, code in dead):
+                    failures = supervisor.poll()
+                    for f in failures:
+                        if f.injected_hard_crash:
                             mirror_hard_crash = True
                             return trace  # finally-block handles teardown
-                        failure = WorkerCrashError(
-                            f"worker process(es) died mid-run: "
-                            + ", ".join(
-                                f"lane {lane} exit {code}" for lane, code in dead
+                        if not supervisor.can_respawn():
+                            detail = (
+                                "hung past the "
+                                f"{hang_timeout:.3g}s hang budget"
+                                if f.hung
+                                else f"died (exit {f.exitcode})"
                             )
-                            + f"; in flight: "
-                            + ", ".join(map(str, outstanding.values()))
-                        )
+                            failure = WorkerCrashError(
+                                f"worker lane {f.lane} (pid {f.pid}) {detail}"
+                                + (
+                                    f"; respawn budget "
+                                    f"({supervisor.max_respawns}) exhausted"
+                                    if self.supervise
+                                    else "; supervision disabled"
+                                )
+                                + (
+                                    "; in flight: "
+                                    + ", ".join(map(str, outstanding.values()))
+                                    if outstanding
+                                    else ""
+                                )
+                            )
+                            break
+                        recover(f)
+                    if failure is not None:
                         break
+                    if failures:
+                        dispatch()
+                        continue
                     if (
-                        self.stall_timeout is not None
-                        and time.monotonic() - last_progress >= self.stall_timeout
+                        stall_timeout is not None
+                        and time.monotonic() - last_progress >= stall_timeout
                     ):
                         failure = ValueError(
                             f"execution stalled: no task dispatched or "
                             f"retired in {time.monotonic() - last_progress:.3g}s "
-                            f"(stall_timeout={self.stall_timeout:.3g}s) with "
+                            f"(stall_timeout={stall_timeout:.3g}s) with "
                             f"{target - completed} of {target} tasks "
                             f"outstanding; in flight: "
                             + ", ".join(map(str, outstanding.values()))
@@ -491,8 +653,23 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                         break
                     continue
 
-                lane, idx, attempts, exc, counters, reports, start, end = msg
+                lane, idx, epoch, attempts, exc, counters, reports, start, end = msg
+                if (
+                    idx not in outstanding
+                    or epoch != task_epoch.get(idx, 0)
+                    or lane_task.get(lane) != idx
+                ):
+                    # Stale retirement: a worker we already declared
+                    # dead/hung (and whose task we requeued) raced its
+                    # own result out before the SIGKILL landed.  The
+                    # replay owns the task now — dropping the stale
+                    # message is what keeps exactly-once retirement.
+                    supervisor.stale_results += 1
+                    continue
                 task = outstanding.pop(idx)
+                lane_task.pop(lane, None)
+                idle.add(lane)
+                supervisor.task_retired(lane)
                 last_progress = time.monotonic()
 
                 if exc is not None:
@@ -506,15 +683,8 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                     ):
                         heals[idx] = heals.get(idx, 0) + 1
                         retries += exc.attempts
-                        outstanding[idx] = task
-                        task_q.put(
-                            (
-                                idx,
-                                self._expected_for(task, ledger)
-                                if verify
-                                else None,
-                            )
-                        )
+                        scheduler.push(idx, task)
+                        dispatch()
                         continue
                     failure = exc
                     break
@@ -550,16 +720,18 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                         scheduler.push(j, graph.tasks[j])
                 dispatch()
         finally:
-            for _ in procs:
-                task_q.put(None)
+            for q in lane_queues.values():
+                q.put(None)
             deadline = time.monotonic() + 5.0
-            for p in procs:
+            for p in procs.values():
                 p.join(timeout=max(0.1, deadline - time.monotonic()))
-            for p in procs:
+            for p in procs.values():
                 if p.is_alive():
                     p.terminate()
                     p.join(timeout=1.0)
-            task_q.close()
+            supervisor.detach_all()
+            for q in lane_queues.values():
+                q.close()
             result_q.close()
             result_q.join_thread()
             if arena is not None:
@@ -575,6 +747,7 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                 os._exit(137)
 
         self.last_run_retries = retries
+        self.last_run_supervision = supervisor.report()
         if failure is not None:
             while scheduler:
                 scheduler.pop()

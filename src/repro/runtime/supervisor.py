@@ -1,0 +1,214 @@
+"""Worker supervision for the process-pool execution engine.
+
+The mp engine's original failure model was fail-fast: any worker death
+killed the whole run (mirroring exit 137 for the injected hard-crash
+kind, raising ``WorkerCrashError`` otherwise).  That is the wrong
+default on the road to a long-lived serving fleet — the distributed
+runtimes this project models (PaRSEC, the fan-both solvers) treat node
+loss as an operating condition, not an exception.
+
+:class:`WorkerSupervisor` is the coordinator-side bookkeeping for that
+standard: it watches each worker lane's process handle and dispatch
+state, classifies failures, and enforces the respawn budget.  The
+engine keeps the mechanics (re-forking, queue plumbing, tile
+restoration) because they need engine internals; the supervisor owns
+the *policy*:
+
+* **liveness** — a lane whose process has an exit code is dead.  Exit
+  137 is the injected ``hard_crash`` (``os._exit(137)``), which the
+  engine still mirrors for checkpoint/restart semantics; anything else
+  (a real ``SIGKILL`` shows as -9) is a supervised failure.
+* **hangs** — a lane that has held one task longer than
+  ``hang_timeout`` seconds is wedged (livelocked kernel, lost worker).
+  The supervisor delivers a real ``SIGKILL`` and reports it like a
+  death, so one recovery path serves both.
+* **budget** — ``max_respawns`` bounds total replacements per run; a
+  crash loop surfaces as :class:`~repro.runtime.parallel_mp.
+  WorkerCrashError` instead of respawning forever.
+
+Worker lifecycle state machine (one lane)::
+
+    spawned --dispatch--> busy --retire--> idle --dispatch--> busy ...
+       |                   |  \\
+       |                   |   +--hang_timeout--> killed (SIGKILL)
+       |                   |                          |
+       +---exit/killed-----+--------------------------+
+                           |
+                respawn (budget left)  -> spawned (task requeued,
+                           |               torn tiles restored)
+                budget exhausted       -> WorkerCrashError
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = ["WorkerFailure", "WorkerSupervisor"]
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """One detected worker failure, as the engine consumes it."""
+
+    #: worker lane index
+    lane: int
+    #: OS pid of the failed process
+    pid: int
+    #: process exit code (negative = died by signal); for a hung worker
+    #: this is the post-SIGKILL code (or ``None`` if it refused to die)
+    exitcode: int | None
+    #: True when the failure is a hang the supervisor resolved by kill
+    hung: bool
+    #: task index the lane held when it failed (``None`` = idle lane)
+    task_index: int | None
+
+    @property
+    def injected_hard_crash(self) -> bool:
+        """Exit 137 — the fault injector's ``os._exit(137)``.  The
+        engine mirrors it instead of recovering, preserving the
+        checkpoint/restart SIGKILL semantics tests rely on."""
+        return self.exitcode == 137
+
+
+class WorkerSupervisor:
+    """Liveness + hang detection + respawn budget over worker lanes.
+
+    Parameters
+    ----------
+    max_respawns:
+        Total replacement workers allowed per run.  0 disables
+        recovery (every failure is fatal, the pre-supervision
+        behavior).
+    hang_timeout:
+        Seconds a lane may hold one task before it is declared hung
+        and killed.  ``None`` disables hang detection (kernel runtimes
+        are unbounded in general; the engine wires this to the scaled
+        stall timeout when one is configured).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_respawns: int = 0,
+        hang_timeout: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
+        if hang_timeout is not None and hang_timeout <= 0.0:
+            raise ValueError(
+                f"hang_timeout must be positive or None, got {hang_timeout}"
+            )
+        self.max_respawns = int(max_respawns)
+        self.hang_timeout = hang_timeout
+        self._clock = clock
+        self._procs: dict[int, object] = {}
+        #: lane -> (task index, dispatch timestamp) while busy
+        self._busy: dict[int, tuple[int, float]] = {}
+        self.respawns = 0
+        self.hung_killed = 0
+        self.tasks_requeued = 0
+        self.tiles_restored = 0
+        self.stale_results = 0
+
+    # ------------------------------------------------------------------
+    # engine-facing bookkeeping
+    # ------------------------------------------------------------------
+
+    def attach(self, lane: int, process) -> None:
+        """Register (or replace, after a respawn) a lane's process."""
+        self._procs[lane] = process
+        self._busy.pop(lane, None)
+
+    def detach_all(self) -> None:
+        self._procs.clear()
+        self._busy.clear()
+
+    def task_dispatched(self, lane: int, task_index: int) -> None:
+        self._busy[lane] = (task_index, self._clock())
+
+    def task_retired(self, lane: int) -> None:
+        self._busy.pop(lane, None)
+
+    def task_of(self, lane: int) -> int | None:
+        entry = self._busy.get(lane)
+        return None if entry is None else entry[0]
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+
+    def poll(self) -> list[WorkerFailure]:
+        """Detect dead and hung lanes (hung lanes are killed here).
+
+        Each failure is reported exactly once: the engine either
+        respawns the lane (re-attaching a fresh process) or aborts the
+        run, so a reported lane never re-enters the scan as the same
+        corpse.
+        """
+        failures: list[WorkerFailure] = []
+        now = self._clock()
+        for lane, proc in sorted(self._procs.items()):
+            code = proc.exitcode
+            if code is not None:
+                failures.append(
+                    WorkerFailure(
+                        lane=lane,
+                        pid=proc.pid,
+                        exitcode=code,
+                        hung=False,
+                        task_index=self.task_of(lane),
+                    )
+                )
+                continue
+            entry = self._busy.get(lane)
+            if (
+                self.hang_timeout is not None
+                and entry is not None
+                and now - entry[1] >= self.hang_timeout
+            ):
+                self.hung_killed += 1
+                self._kill(proc)
+                failures.append(
+                    WorkerFailure(
+                        lane=lane,
+                        pid=proc.pid,
+                        exitcode=proc.exitcode,
+                        hung=True,
+                        task_index=entry[0],
+                    )
+                )
+        return failures
+
+    @staticmethod
+    def _kill(proc) -> None:
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):  # already gone
+            pass
+        proc.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # respawn budget
+    # ------------------------------------------------------------------
+
+    def can_respawn(self) -> bool:
+        return self.respawns < self.max_respawns
+
+    def record_respawn(self, lane: int) -> None:
+        self.respawns += 1
+        self._busy.pop(lane, None)
+
+    def report(self) -> dict[str, int]:
+        """Counters for this run (merged into engine/run reports)."""
+        return {
+            "respawns": self.respawns,
+            "hung_killed": self.hung_killed,
+            "tasks_requeued": self.tasks_requeued,
+            "tiles_restored": self.tiles_restored,
+            "stale_results": self.stale_results,
+        }

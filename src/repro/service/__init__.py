@@ -12,16 +12,20 @@ a per-call expense.  The subsystem provides
 - :class:`RequestBatcher` — dynamic coalescing of concurrent
   single-RHS solves into blocked multi-RHS solves;
 - :class:`SolveService` — bounded-backlog queue + dispatcher + worker
-  pool with per-request deadlines, typed overload rejection,
-  build retry-with-backoff and input validation at the edge;
+  pool with end-to-end deadline propagation, admission control
+  (``max_inflight`` + ``Retry-After`` hints), typed overload
+  rejection, build retry-with-backoff, graceful ``drain()`` for warm
+  handoff, and input validation at the edge;
 - :class:`CircuitBreaker` — per-operator shedding of repeatedly
   failing factorizations, with half-open recovery probes;
+- :class:`RetryBudget` — per-operator token bucket keeping build
+  retries from amplifying an outage;
 - :class:`ServiceMetrics` — latency percentiles, hit rates, batch
   shapes, Chrome-trace export via :mod:`repro.runtime.tracing`.
 """
 
 from repro.service.batching import RequestBatcher
-from repro.service.breaker import CircuitBreaker
+from repro.service.breaker import CircuitBreaker, RetryBudget
 from repro.service.cache import CacheEntry, OperatorCache
 from repro.service.errors import (
     BacklogFullError,
@@ -30,8 +34,11 @@ from repro.service.errors import (
     DeadlineExpiredError,
     FactorizationFailedError,
     RequestFailedError,
+    RetryBudgetExhaustedError,
     ServiceClosedError,
+    ServiceDrainingError,
     ServiceError,
+    ServiceOverloadedError,
 )
 from repro.service.metrics import ServiceMetrics, percentile
 from repro.service.server import Request, RequestHandle, SolveService
@@ -50,12 +57,16 @@ __all__ = [
     "ServiceMetrics",
     "percentile",
     "CircuitBreaker",
+    "RetryBudget",
     "ServiceError",
     "BacklogFullError",
+    "ServiceOverloadedError",
+    "ServiceDrainingError",
     "DeadlineExpiredError",
     "ServiceClosedError",
     "RequestFailedError",
     "FactorizationFailedError",
     "CircuitOpenError",
+    "RetryBudgetExhaustedError",
     "CorruptResultError",
 ]

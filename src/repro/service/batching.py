@@ -67,6 +67,31 @@ class RequestBatcher:
         ]
         return [self._pending.pop(key)[1] for key in ready]
 
+    def prune(self, predicate: Callable[[Any], bool]) -> list[Any]:
+        """Remove (and return) every pending item matching ``predicate``.
+
+        Deadline propagation into the coalescing window: a request
+        whose deadline expires *while batched* must be shed here, not
+        carried into the batch and discovered dead at execution time —
+        its presence would also hold the size trigger back for live
+        requests.  Groups left empty are dropped; surviving groups
+        keep their original arrival timestamp (the latency window is
+        an oldest-item promise, not a per-item one).
+        """
+        removed: list[Any] = []
+        for key in list(self._pending):
+            first, items = self._pending[key]
+            dead = [it for it in items if predicate(it)]
+            if not dead:
+                continue
+            removed.extend(dead)
+            live = [it for it in items if not predicate(it)]
+            if live:
+                self._pending[key] = (first, live)
+            else:
+                del self._pending[key]
+        return removed
+
     def flush_all(self) -> list[list[Any]]:
         """Pop every pending group regardless of its window (shutdown)."""
         batches = [items for (_, items) in self._pending.values()]

@@ -17,6 +17,11 @@ per operator fingerprint and moves through the classic three states:
     fast.  A successful probe closes the breaker; a failed probe
     re-opens it for another full ``reset_timeout``.
 
+:class:`RetryBudget` is the breaker's companion on the *retry* path:
+a per-key token bucket that bounds how many retries the service will
+spend per operator per unit time, so an outage is not amplified by
+every caller's retry loop hammering the failing dependency.
+
 The clock is injectable for deterministic tests.
 """
 
@@ -28,7 +33,7 @@ from collections.abc import Callable
 
 from repro.service.errors import CircuitOpenError
 
-__all__ = ["CircuitBreaker"]
+__all__ = ["CircuitBreaker", "RetryBudget"]
 
 _CLOSED = "closed"
 _OPEN = "open"
@@ -154,3 +159,69 @@ class CircuitBreaker:
         with self._lock:
             keys = list(self._keys)
         return {k: self.state(k) for k in keys}
+
+
+class RetryBudget:
+    """Per-key token bucket bounding retry attempts.
+
+    First attempts are free — the budget only meters *retries*.  Each
+    key starts with ``capacity`` tokens and refills continuously at
+    ``refill_per_second`` up to the cap; a retry spends one token.
+    When the bucket is dry, :meth:`try_spend` returns ``False`` and
+    the caller must surface the original failure instead of retrying.
+
+    Why a bucket and not a count: during a steady failure (bad
+    operator store, dependency outage) every request would otherwise
+    retry ``build_retries`` times, multiplying the offered load on the
+    failing path exactly when it can least absorb it.  The bucket
+    caps retry *rate* per operator while still allowing full retry
+    depth for isolated transient failures.
+
+    Thread-safe; clock injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 10.0,
+        refill_per_second: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if refill_per_second < 0.0:
+            raise ValueError(
+                f"refill_per_second must be >= 0, got {refill_per_second}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (tokens, last refill timestamp)
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def _refill(self, key: str, now: float) -> float:
+        tokens, last = self._buckets.get(key, (self.capacity, now))
+        tokens = min(
+            self.capacity, tokens + (now - last) * self.refill_per_second
+        )
+        return tokens
+
+    def tokens(self, key: str) -> float:
+        """Current token count for ``key`` (for metrics/tests)."""
+        with self._lock:
+            return self._refill(key, self._clock())
+
+    def try_spend(self, key: str, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` from ``key``'s bucket if available.
+
+        Returns True (and debits) when the budget covers the retry;
+        False (no debit) when it is exhausted.
+        """
+        with self._lock:
+            now = self._clock()
+            have = self._refill(key, now)
+            if have < tokens:
+                self._buckets[key] = (have, now)
+                return False
+            self._buckets[key] = (have - tokens, now)
+            return True

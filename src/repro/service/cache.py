@@ -388,6 +388,27 @@ class OperatorCache:
         if self.metrics is not None:
             self.metrics.set_bytes_resident(resident)
 
+    def seal(self) -> int:
+        """Persist every resident entry not yet sealed on disk.
+
+        The drain protocol's warm-handoff step: a successor process
+        pointed at the same directory recovers every operator this one
+        built, instead of re-factorizing on its first requests.
+        Returns the number of entries newly persisted (0 with no
+        persistence directory).
+        """
+        if self.directory is None:
+            return 0
+        with self._lock:
+            entries = list(self._entries.values())
+        sealed = 0
+        for entry in entries:
+            if self._manifest_path(entry.fingerprint).exists():
+                continue
+            self._persist(entry)
+            sealed += 1
+        return sealed
+
     def clear(self) -> None:
         """Drop resident entries (disk persistence is left intact)."""
         with self._lock:

@@ -10,11 +10,14 @@ from __future__ import annotations
 __all__ = [
     "ServiceError",
     "BacklogFullError",
+    "ServiceOverloadedError",
+    "ServiceDrainingError",
     "DeadlineExpiredError",
     "ServiceClosedError",
     "RequestFailedError",
     "FactorizationFailedError",
     "CircuitOpenError",
+    "RetryBudgetExhaustedError",
     "CorruptResultError",
 ]
 
@@ -27,7 +30,31 @@ class BacklogFullError(ServiceError):
     """The bounded request queue is full; the request was never enqueued.
 
     Raised synchronously by ``submit`` — backpressure is immediate, the
-    caller can retry, shed load, or fail over.
+    caller can retry, shed load, or fail over.  ``retry_after`` (when
+    not ``None``) is the service's estimate, in seconds, of when
+    capacity should free up — the ``Retry-After`` hint a gateway would
+    forward with a 503.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceOverloadedError(BacklogFullError):
+    """Admission control shed the request: too many requests in flight.
+
+    Distinct from :class:`BacklogFullError` (queue capacity) — this is
+    the concurrency cap (``max_inflight``): queued work admitted now
+    would just expire waiting.  Inherits the ``retry_after`` hint.
+    """
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining for handoff and admits no new work.
+
+    Unlike :class:`ServiceClosedError`, in-flight and queued requests
+    are still being completed; only *new* admissions are refused.
     """
 
 
@@ -74,6 +101,17 @@ class CircuitOpenError(ServiceError):
     A misbehaving operator (repeated factorization failures) is shed
     at the edge instead of burning a worker on every request; the
     breaker half-opens after its reset timeout to probe for recovery.
+    """
+
+
+class RetryBudgetExhaustedError(ServiceError):
+    """The operator's retry budget is spent: no retry was attempted.
+
+    Token-bucket retry budgets keep retries from amplifying an outage
+    — when an operator's builds are failing steadily, retrying every
+    request multiplies the load on the failing path.  Once the bucket
+    is empty, failures surface immediately (first attempts are never
+    budgeted, only retries).
     """
 
 

@@ -49,6 +49,11 @@ class ServiceMetrics:
         self._latencies: dict[str, list[float]] = {}
         self._batch_sizes: list[int] = []
         self._bytes_resident = 0
+        #: deadline slack (deadline minus completion time, seconds) per
+        #: request kind at the moment the result was delivered —
+        #: negative samples mean work finished past its deadline, the
+        #: exact thing admission control exists to prevent.
+        self._slack: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
     # recording (called by the service internals)
@@ -65,6 +70,11 @@ class ServiceMetrics:
     def record_batch(self, size: int) -> None:
         with self._lock:
             self._batch_sizes.append(int(size))
+
+    def record_slack(self, kind: str, seconds: float) -> None:
+        """Record remaining deadline slack at completion time."""
+        with self._lock:
+            self._slack.setdefault(kind, []).append(float(seconds))
 
     def set_bytes_resident(self, nbytes: int) -> None:
         with self._lock:
@@ -100,11 +110,22 @@ class ServiceMetrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def mean_latency(self, kind: str) -> float:
+        """Mean recorded latency for ``kind`` (0.0 with no samples).
+
+        Admission control uses this as its service-time estimate when
+        computing a ``Retry-After`` hint for shed requests.
+        """
+        with self._lock:
+            samples = self._latencies.get(kind)
+            return (sum(samples) / len(samples)) if samples else 0.0
+
     def to_dict(self) -> dict:
         """JSON-safe snapshot of every counter, gauge and percentile."""
         with self._lock:
             counters = dict(self._counters)
             latencies = {k: list(v) for k, v in self._latencies.items()}
+            slack = {k: list(v) for k, v in self._slack.items()}
             batches = list(self._batch_sizes)
             resident = self._bytes_resident
         hits = counters.get("cache_hits", 0) + counters.get("cache_disk_hits", 0)
@@ -129,6 +150,20 @@ class ServiceMetrics:
                 "p99": percentile(samples, 99),
                 "max": max(samples),
             }
+        if slack:
+            out["deadline_slack_seconds"] = {}
+            for kind, samples in slack.items():
+                out["deadline_slack_seconds"][kind] = {
+                    "count": len(samples),
+                    "mean": sum(samples) / len(samples),
+                    "p1": percentile(samples, 1),
+                    "p10": percentile(samples, 10),
+                    "p50": percentile(samples, 50),
+                    "min": min(samples),
+                    # completions past their deadline: must stay 0 —
+                    # expired work is shed, never executed
+                    "late": sum(1 for s in samples if s < 0.0),
+                }
         return out
 
     def to_json(self, indent: int | None = 2) -> str:

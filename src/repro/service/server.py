@@ -14,11 +14,29 @@ Request lifecycle::
 The dispatcher decouples request arrival from execution (the fan-both
 asynchronous-factorization lesson applied to serving): clients never
 block on BLAS, and concurrent single-RHS requests against one factor
-coalesce into a single blocked multi-RHS triangular solve.  Overload
-is handled at the edge — a full backlog rejects *synchronously* with
-:class:`BacklogFullError` — and expired deadlines are re-checked both
-at dispatch and at execution start so a stale request never reaches
-the numerics.
+coalesce into a single blocked multi-RHS triangular solve.
+
+Overload control happens at the edge, in admission order:
+
+1. **draining** — a draining service admits nothing new
+   (:class:`ServiceDrainingError`) while completing accepted work;
+2. **concurrency cap** — more than ``max_inflight`` admitted-but-
+   incomplete requests sheds with :class:`ServiceOverloadedError`
+   carrying a ``retry_after`` hint (estimated from observed service
+   time and current occupancy), because work queued beyond the cap
+   would mostly expire waiting;
+3. **queue bound** — a full backlog rejects *synchronously* with
+   :class:`BacklogFullError` (same ``retry_after`` hint).
+
+Deadlines propagate through *every* stage rather than being checked
+once: expired requests are shed at dispatch, pruned out of the
+batcher's coalescing window, re-checked at execution start, re-checked
+after a (possibly slow) cache-miss factorization, and the build-retry
+loop gives up rather than sleep past the batch's deadline — so work
+whose deadline has passed is never executed, and the deadline-slack
+histogram's ``late`` count stays zero.  Retries are additionally
+metered by a per-operator :class:`~repro.service.breaker.RetryBudget`
+so a steadily failing build cannot be amplified by the retry loop.
 """
 
 from __future__ import annotations
@@ -34,7 +52,7 @@ import numpy as np
 
 from repro.config import DTYPE
 from repro.service.batching import RequestBatcher
-from repro.service.breaker import CircuitBreaker
+from repro.service.breaker import CircuitBreaker, RetryBudget
 from repro.service.cache import CacheEntry, OperatorCache
 from repro.service.errors import (
     BacklogFullError,
@@ -44,6 +62,8 @@ from repro.service.errors import (
     FactorizationFailedError,
     RequestFailedError,
     ServiceClosedError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.spec import OperatorSpec
@@ -162,6 +182,17 @@ class SolveService:
         builds keep failing is shed at the edge with
         :class:`CircuitOpenError` instead of re-building every time;
         a half-open probe re-admits it once it recovers.
+    max_inflight:
+        Admission-control cap on admitted-but-incomplete requests
+        (queued, batched, or executing).  Submissions beyond it shed
+        with :class:`ServiceOverloadedError` carrying a ``retry_after``
+        hint.  ``None`` (default) disables the cap — the backlog bound
+        is then the only admission limit.
+    retry_budget:
+        Per-operator token bucket metering build *retries* (default: a
+        fresh :class:`~repro.service.breaker.RetryBudget`).  Pass an
+        explicit instance to tune capacity/refill, or construct one
+        with ``capacity=float("inf")`` to restore unmetered retries.
     start:
         Start the dispatcher immediately.  Tests pass ``False`` to
         stage requests deterministically, then call :meth:`start`.
@@ -182,6 +213,8 @@ class SolveService:
         breaker: CircuitBreaker | None = None,
         breaker_threshold: int = 3,
         breaker_reset: float = 30.0,
+        max_inflight: int | None = None,
+        retry_budget: RetryBudget | None = None,
         start: bool = True,
     ) -> None:
         if workers < 1:
@@ -190,6 +223,10 @@ class SolveService:
             raise ValueError(f"backlog must be >= 1, got {backlog}")
         if build_retries < 0:
             raise ValueError(f"build_retries must be >= 0, got {build_retries}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 or None, got {max_inflight}"
+            )
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.cache = cache if cache is not None else OperatorCache()
         self.cache.metrics = self.metrics
@@ -207,6 +244,11 @@ class SolveService:
             )
         )
         self.backlog = int(backlog)
+        self.workers = int(workers)
+        self.max_inflight = None if max_inflight is None else int(max_inflight)
+        self.retry_budget = (
+            retry_budget if retry_budget is not None else RetryBudget()
+        )
         self._queue: queue.Queue = queue.Queue(maxsize=self.backlog)
         self._batcher = RequestBatcher(max_batch=max_batch, max_wait=max_wait)
         self._executor = ThreadPoolExecutor(
@@ -216,7 +258,12 @@ class SolveService:
         self._lock = threading.Lock()
         self._closed = False
         self._started = False
+        self._draining = False
         self._drain_on_close = True
+        #: admitted-but-incomplete requests (queued + batched +
+        #: executing); every completion path decrements via
+        #: _complete/_fail, so this is the drain-progress gauge too
+        self._inflight = 0
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="tlr-serve-dispatch", daemon=True
         )
@@ -304,6 +351,68 @@ class SolveService:
             self._started = True
         self._dispatcher.start()
 
+    def drain(self, timeout: float = 30.0) -> dict:
+        """Gracefully drain for warm handoff; the service stays up.
+
+        The drain protocol, in order:
+
+        1. **stop admissions** — new submissions raise
+           :class:`ServiceDrainingError` (in-flight work keeps its
+           promises);
+        2. **flush the pipeline** — wait (bounded by ``timeout``
+           seconds) until every admitted request has completed: queue
+           empty, batcher flushed by the live dispatcher, executors
+           idle;
+        3. **seal the cache** — persist every resident factor not yet
+           on disk, so a successor process pointed at the same cache
+           directory starts warm instead of re-factorizing.
+
+        Returns a summary dict (``drained`` is False if ``timeout``
+        expired with work still in flight — the remaining count is in
+        ``inflight_remaining``).  Idempotent; call :meth:`close`
+        afterwards to shut down, or nothing to hold for handoff.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            self._draining = True
+        self.metrics.count("drains_started")
+        t0 = time.monotonic()
+        give_up = t0 + max(0.0, float(timeout))
+        while True:
+            with self._lock:
+                inflight = self._inflight
+            if inflight == 0 or time.monotonic() >= give_up:
+                break
+            time.sleep(0.005)
+        sealed = self.cache.seal()
+        self.metrics.count("cache_entries_sealed", sealed)
+        summary = {
+            "drained": inflight == 0,
+            "inflight_remaining": inflight,
+            "sealed_entries": sealed,
+            "drain_seconds": time.monotonic() - t0,
+        }
+        if inflight == 0:
+            self.metrics.count("drains_completed")
+        return summary
+
+    def resume(self) -> None:
+        """Lift a drain: re-open admissions (handoff was aborted)."""
+        with self._lock:
+            self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Admitted-but-incomplete requests right now."""
+        with self._lock:
+            return self._inflight
+
     def close(self, drain: bool = True) -> None:
         """Stop accepting work and shut the pipeline down.
 
@@ -366,19 +475,73 @@ class SolveService:
             raise ValueError(f"timeout must be positive, got {timeout}")
         return time.monotonic() + timeout
 
+    def _retry_after(self, kind: str) -> float:
+        """Estimated seconds until capacity frees up (Retry-After hint).
+
+        Occupancy model: the backlog ahead of a retrying client is
+        ``inflight`` requests served by ``workers`` lanes at the
+        observed mean service time (batching makes this pessimistic,
+        which is the right bias for a shedding hint).
+        """
+        with self._lock:
+            inflight = self._inflight
+        mean = self.metrics.mean_latency(kind) or 0.05
+        return max(0.05, mean * (inflight / max(self.workers, 1)))
+
     def _submit(self, req: Request) -> RequestHandle:
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
+            if self._draining:
+                self.metrics.count("rejected_draining")
+                raise ServiceDrainingError(
+                    "service is draining and admits no new work"
+                )
+            overloaded = (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            )
+            if not overloaded:
+                self._inflight += 1
+        if overloaded:
+            # retry_after reads metrics/lock — computed outside the lock
+            self.metrics.count("shed_admission")
+            raise ServiceOverloadedError(
+                f"{self.max_inflight} requests already in flight "
+                f"(max_inflight cap)",
+                retry_after=self._retry_after(req.kind),
+            )
         try:
             self._queue.put_nowait(req)
         except queue.Full:
+            with self._lock:
+                self._inflight -= 1
             self.metrics.count("rejected_backlog")
             raise BacklogFullError(
-                f"backlog full ({self.backlog} requests queued)"
+                f"backlog full ({self.backlog} requests queued)",
+                retry_after=self._retry_after(req.kind),
             ) from None
         self.metrics.count("submitted")
         return req.handle
+
+    # ------------------------------------------------------------------
+    # completion (the only paths that settle a handle)
+    # ------------------------------------------------------------------
+
+    def _complete(self, req: Request, value) -> None:
+        req.handle.set_result(value)
+        with self._lock:
+            self._inflight -= 1
+        if req.deadline is not None:
+            self.metrics.record_slack(
+                req.kind, req.deadline - time.monotonic()
+            )
+
+    def _fail(self, req: Request, exc: BaseException, counter: str = "failed") -> None:
+        req.handle.set_exception(exc)
+        with self._lock:
+            self._inflight -= 1
+        self.metrics.count(counter)
 
     def _fail_queued(self, exc: Exception) -> None:
         while True:
@@ -387,8 +550,7 @@ class SolveService:
             except queue.Empty:
                 return
             if item is not _SENTINEL:
-                item.handle.set_exception(exc)
-                self.metrics.count("failed")
+                self._fail(item, exc)
 
     # ------------------------------------------------------------------
     # dispatcher
@@ -409,12 +571,19 @@ class SolveService:
                 return
             if item is not None:
                 self._route(item)
+            # Deadline propagation into the coalescing window: requests
+            # that expired while batched are shed here, before the
+            # batch launches, so they neither execute nor hold the
+            # size trigger back for live neighbors.
+            now = time.monotonic()
+            for req in self._batcher.prune(lambda r: r.expired(now)):
+                self._expire(req, stage="batcher")
             for batch in self._batcher.due():
                 self._launch(batch)
 
     def _route(self, req: Request) -> None:
         if req.expired():
-            self._expire(req)
+            self._expire(req, stage="dispatch")
             return
         if not req.batchable:
             self._launch([req])
@@ -436,15 +605,13 @@ class SolveService:
             if self._drain_on_close:
                 self._route(item)
             else:
-                item.handle.set_exception(closed_exc)
-                self.metrics.count("failed")
+                self._fail(item, closed_exc)
         for batch in self._batcher.flush_all():
             if self._drain_on_close:
                 self._launch(batch)
             else:
                 for req in batch:
-                    req.handle.set_exception(closed_exc)
-                    self.metrics.count("failed")
+                    self._fail(req, closed_exc)
 
     def _launch(self, batch: list[Request]) -> None:
         self._executor.submit(self._execute_batch, batch)
@@ -463,31 +630,75 @@ class SolveService:
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
 
-    def _expire(self, req: Request) -> None:
+    def _expire(self, req: Request, stage: str = "dispatch") -> None:
+        """Shed one expired request, tagged with the pipeline stage
+        that caught it (``shed_<stage>`` counter) — the shed-location
+        histogram is how overload tests prove deadlines propagate
+        instead of being checked once and discarded."""
         req.handle.set_exception(
             DeadlineExpiredError(f"request {req.handle.request_id} deadline passed")
         )
+        with self._lock:
+            self._inflight -= 1
         self.metrics.count("expired")
+        self.metrics.count(f"shed_{stage}")
 
     def _execute_batch(self, batch: list[Request]) -> None:
         live = []
         for req in batch:
             if req.expired():
-                self._expire(req)
+                self._expire(req, stage="execute")
             else:
                 live.append(req)
         if not live:
             return
         worker = self._worker_id()
+        deadlines = [r.deadline for r in live if r.deadline is not None]
+        batch_deadline = min(deadlines) if deadlines else None
         try:
-            entry = self._acquire_entry(live[0].spec, worker)
-            self._run_kind(live, entry, worker)
+            entry = self._acquire_entry(live[0].spec, worker, batch_deadline)
+        except DeadlineExpiredError:
+            # the build-retry loop refused to sleep past the batch
+            # deadline; whoever actually expired is shed as expired,
+            # stragglers with slack left are failed (their budget was
+            # consumed by the build attempt)
+            for req in live:
+                if req.expired():
+                    self._expire(req, stage="build")
+                else:
+                    self._fail(
+                        req,
+                        DeadlineExpiredError(
+                            "batch deadline passed during factorization"
+                        ),
+                    )
+            return
         except Exception as exc:  # typed service errors included
             for req in live:
-                req.handle.set_exception(exc)
-            self.metrics.count("failed", len(live))
+                self._fail(req, exc)
+            return
+        # a cache-miss factorization can take longer than any request
+        # deadline: re-check before spending BLAS time on dead work
+        still = []
+        for req in live:
+            if req.expired():
+                self._expire(req, stage="post_build")
+            else:
+                still.append(req)
+        if not still:
+            return
+        try:
+            self._run_kind(still, entry, worker)
+        except Exception as exc:
+            for req in still:
+                self._fail(req, exc)
 
-    def _acquire_entry(self, spec: OperatorSpec, worker: int) -> CacheEntry:
+    def _acquire_entry(
+        self,
+        spec: OperatorSpec,
+        worker: int,
+        deadline: float | None = None,
+    ) -> CacheEntry:
         """Cache lookup guarded by the operator's circuit breaker, with
         retry-with-backoff around cache-miss factorizations."""
         fp = spec.fingerprint
@@ -497,7 +708,10 @@ class SolveService:
             self.metrics.count("breaker_fast_fail")
             raise
         try:
-            entry = self._acquire_with_retry(spec, worker)
+            entry = self._acquire_with_retry(spec, worker, deadline)
+        except DeadlineExpiredError:
+            # not an operator failure — don't charge the breaker
+            raise
         except Exception:
             if self.breaker.record_failure(fp):
                 self.metrics.count("breaker_opened")
@@ -509,8 +723,14 @@ class SolveService:
         self.breaker.record_success(fp)
         return entry
 
-    def _acquire_with_retry(self, spec: OperatorSpec, worker: int) -> CacheEntry:
+    def _acquire_with_retry(
+        self,
+        spec: OperatorSpec,
+        worker: int,
+        deadline: float | None = None,
+    ) -> CacheEntry:
         attempts = self.build_retries + 1
+        fp = spec.fingerprint
         for attempt in range(attempts):
             t0 = self._now()
             try:
@@ -524,10 +744,28 @@ class SolveService:
                     raise FactorizationFailedError(
                         spec.fingerprint, attempts, exc
                     ) from exc
-                self.metrics.count("build_retries")
-                time.sleep(
-                    min(self.build_backoff * 2.0**attempt, 10 * self.build_backoff)
+                pause = min(
+                    self.build_backoff * 2.0**attempt, 10 * self.build_backoff
                 )
+                if deadline is not None and (
+                    time.monotonic() + pause >= deadline
+                ):
+                    # sleeping would carry the batch past its deadline:
+                    # give up now instead of burning a doomed rebuild
+                    self.metrics.count("shed_build")
+                    raise DeadlineExpiredError(
+                        f"build retry for operator {fp[:12]} would "
+                        "overrun the batch deadline"
+                    ) from exc
+                if not self.retry_budget.try_spend(fp):
+                    # the operator's retry budget is dry: surface the
+                    # failure instead of amplifying the outage
+                    self.metrics.count("retry_budget_exhausted")
+                    raise FactorizationFailedError(
+                        spec.fingerprint, attempt + 1, exc
+                    ) from exc
+                self.metrics.count("build_retries")
+                time.sleep(pause)
                 continue
             t1 = self._now()
             if outcome != "hit":
@@ -587,6 +825,6 @@ class SolveService:
         )
         done_at = time.monotonic()
         for req, res in zip(live, results):
-            req.handle.set_result(res)
+            self._complete(req, res)
             self.metrics.record_latency(kind, done_at - req.submitted_at)
         self.metrics.count("completed", len(live))

@@ -93,3 +93,39 @@ class TestValidation:
     def test_bad_max_wait(self):
         with pytest.raises(ValueError):
             RequestBatcher(max_wait=-0.1)
+
+
+class TestPrune:
+    def test_prune_removes_matching_and_returns_them(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=1.0, clock=clock)
+        b.add("k", 1)
+        b.add("k", 2)
+        b.add("k", 3)
+        assert b.prune(lambda it: it % 2 == 1) == [1, 3]
+        assert b.add("k", 4) is None  # group survives with [2, 4]
+        assert b.flush_all() == [[2, 4]]
+
+    def test_prune_drops_emptied_groups(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=1.0, clock=clock)
+        b.add("a", 1)
+        b.add("b", 2)
+        assert b.prune(lambda it: it == 1) == [1]
+        assert len(b) == 1
+        assert b.next_deadline() == pytest.approx(1.0)  # "b" still timed
+
+    def test_prune_keeps_oldest_item_window(self, clock):
+        """Surviving items keep the group's original arrival stamp —
+        pruning must not silently extend the latency promise."""
+        b = RequestBatcher(max_batch=10, max_wait=0.5, clock=clock)
+        b.add("k", 1)
+        clock.advance(0.3)
+        b.add("k", 2)
+        b.prune(lambda it: it == 1)
+        clock.advance(0.25)  # 0.55 since the *first* add
+        assert b.due() == [[2]]
+
+    def test_prune_nothing_is_a_noop(self, clock):
+        b = RequestBatcher(max_batch=10, max_wait=1.0, clock=clock)
+        b.add("k", 1)
+        assert b.prune(lambda it: False) == []
+        assert len(b) == 1

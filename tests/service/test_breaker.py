@@ -233,3 +233,176 @@ class TestServiceIntegration:
             d = svc.metrics.to_dict()["counters"]
             assert d["breaker_opened"] == 1
             assert d["breaker_fast_fail"] == 1
+
+
+class TestHalfOpenRaces:
+    """Concurrent probes against a half-open breaker: exactly one trial
+    request may pass, and a failed probe re-opens cleanly — the races
+    the ``probing`` flag exists to win."""
+
+    def _half_open(self, clock):
+        b = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        b.record_failure("op")
+        clock.advance(11.0)
+        assert b.state("op") == "half-open"
+        return b
+
+    @pytest.mark.timeout(60)
+    def test_concurrent_probes_admit_exactly_one(self, clock):
+        b = self._half_open(clock)
+        n = 16
+        barrier = threading.Barrier(n)
+        admitted, rejected = [], []
+        lock = threading.Lock()
+
+        def contender(i):
+            barrier.wait()
+            try:
+                b.allow("op")
+            except CircuitOpenError:
+                with lock:
+                    rejected.append(i)
+            else:
+                with lock:
+                    admitted.append(i)
+
+        threads = [
+            threading.Thread(target=contender, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        assert len(rejected) == n - 1
+
+    @pytest.mark.timeout(60)
+    def test_probe_failure_reopens_and_next_window_readmits_one(self, clock):
+        b = self._half_open(clock)
+        b.allow("op")
+        b.record_failure("op")  # probe failed -> open, probing released
+        # everyone fails fast while open — no leaked probe slot
+        for _ in range(4):
+            with pytest.raises(CircuitOpenError):
+                b.allow("op")
+        clock.advance(11.0)
+        # next half-open window admits exactly one again
+        b.allow("op")
+        with pytest.raises(CircuitOpenError, match="probe is already in flight"):
+            b.allow("op")
+
+    @pytest.mark.timeout(60)
+    def test_probe_success_reopens_the_floodgates(self, clock):
+        b = self._half_open(clock)
+        b.allow("op")
+        b.record_success("op")
+        n = 8
+        barrier = threading.Barrier(n)
+        errors = []
+
+        def caller():
+            barrier.wait()
+            try:
+                b.allow("op")
+            except CircuitOpenError as exc:  # pragma: no cover - failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors  # closed breaker admits everyone
+
+    @pytest.mark.timeout(60)
+    def test_concurrent_probe_failure_storm_stays_consistent(self, clock):
+        """Probe fails while other threads hammer allow(): the breaker
+        must land in a clean open state (no stuck probing flag)."""
+        b = self._half_open(clock)
+        b.allow("op")  # claim the probe
+        n = 8
+        barrier = threading.Barrier(n + 1)
+        outcomes = []
+        lock = threading.Lock()
+
+        def hammer():
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    b.allow("op")
+                except CircuitOpenError:
+                    pass
+                else:  # pragma: no cover - would be the race bug
+                    with lock:
+                        outcomes.append("admitted")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        b.record_failure("op")
+        for t in threads:
+            t.join()
+        # nobody slipped in: the failed probe re-opened for a full
+        # timeout and the clock never advanced past it
+        assert outcomes == []
+        assert b.state("op") == "open"
+
+
+class TestRetryBudget:
+    def test_parameter_validation(self):
+        from repro.service import RetryBudget
+
+        with pytest.raises(ValueError, match="capacity"):
+            RetryBudget(capacity=0.0)
+        with pytest.raises(ValueError, match="refill_per_second"):
+            RetryBudget(refill_per_second=-1.0)
+
+    def test_spend_until_dry_then_refill(self, clock):
+        from repro.service import RetryBudget
+
+        rb = RetryBudget(capacity=2.0, refill_per_second=0.5, clock=clock)
+        assert rb.try_spend("op")
+        assert rb.try_spend("op")
+        assert not rb.try_spend("op")  # dry
+        clock.advance(2.0)  # +1 token
+        assert rb.try_spend("op")
+        assert not rb.try_spend("op")
+
+    def test_keys_are_independent(self, clock):
+        from repro.service import RetryBudget
+
+        rb = RetryBudget(capacity=1.0, refill_per_second=0.0, clock=clock)
+        assert rb.try_spend("a")
+        assert not rb.try_spend("a")
+        assert rb.try_spend("b")  # b has its own bucket
+
+    def test_refill_caps_at_capacity(self, clock):
+        from repro.service import RetryBudget
+
+        rb = RetryBudget(capacity=3.0, refill_per_second=10.0, clock=clock)
+        clock.advance(1000.0)
+        assert rb.tokens("op") == 3.0
+
+    def test_thread_safety_never_overspends(self, clock):
+        from repro.service import RetryBudget
+
+        rb = RetryBudget(capacity=10.0, refill_per_second=0.0, clock=clock)
+        n = 8
+        barrier = threading.Barrier(n)
+        granted = []
+        lock = threading.Lock()
+
+        def spender():
+            barrier.wait()
+            for _ in range(10):
+                if rb.try_spend("op"):
+                    with lock:
+                        granted.append(1)
+
+        threads = [threading.Thread(target=spender) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(granted) == 10  # exactly the capacity, never more

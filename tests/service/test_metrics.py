@@ -88,3 +88,25 @@ class TestTracingHook:
         spans = [e for e in events if e["ph"] == "X"]
         assert spans[0]["name"].startswith("BUILD")
         assert spans[0]["tid"] == 1
+
+
+class TestDeadlineSlack:
+    def test_slack_summary_counts_late_completions(self):
+        m = ServiceMetrics()
+        for s in (1.2, 0.4, 0.8):
+            m.record_slack("solve", s)
+        m.record_slack("solve", -0.1)
+        d = m.to_dict()["deadline_slack_seconds"]["solve"]
+        assert d["count"] == 4
+        assert d["late"] == 1  # the negative sample: finished past its deadline
+        assert d["min"] == pytest.approx(-0.1)
+
+    def test_no_slack_section_without_samples(self):
+        assert "deadline_slack_seconds" not in ServiceMetrics().to_dict()
+
+    def test_mean_latency_for_retry_after_hints(self):
+        m = ServiceMetrics()
+        assert m.mean_latency("solve") == 0.0
+        m.record_latency("solve", 0.2)
+        m.record_latency("solve", 0.4)
+        assert m.mean_latency("solve") == pytest.approx(0.3)

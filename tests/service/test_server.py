@@ -18,6 +18,8 @@ from repro.service import (
     OperatorCache,
     RequestFailedError,
     ServiceClosedError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
     SolveService,
 )
 
@@ -217,3 +219,124 @@ class TestShutdown:
         h.result(TIMEOUT)
         assert "done" in repr(h)
         svc.close()
+
+
+class TestAdmissionControl:
+    def test_max_inflight_sheds_with_retry_after(
+        self, small_spec, warm_cache, rhs
+    ):
+        svc = SolveService(
+            cache=warm_cache, workers=1, max_inflight=2, start=False
+        )
+        h1 = svc.submit_solve(small_spec, rhs)
+        h2 = svc.submit_solve(small_spec, rhs)
+        with pytest.raises(ServiceOverloadedError) as exc_info:
+            svc.submit_solve(small_spec, rhs)
+        assert exc_info.value.retry_after is not None
+        assert exc_info.value.retry_after > 0.0
+        assert svc.metrics.counter("shed_admission") == 1
+        # already-admitted work keeps its promise
+        svc.start()
+        assert h1.result(TIMEOUT) is not None
+        assert h2.result(TIMEOUT) is not None
+        svc.close()
+
+    def test_inflight_slots_release_on_completion(
+        self, small_spec, warm_cache, rhs
+    ):
+        with SolveService(
+            cache=warm_cache, workers=1, max_inflight=1
+        ) as svc:
+            for _ in range(4):  # sequential: the single slot recycles
+                assert svc.submit_solve(small_spec, rhs).result(TIMEOUT) is not None
+            assert svc.inflight == 0
+            assert svc.metrics.counter("shed_admission") == 0
+
+    def test_backlog_rejection_carries_retry_after(
+        self, small_spec, warm_cache, rhs
+    ):
+        svc = SolveService(
+            cache=warm_cache, workers=1, backlog=1, start=False
+        )
+        h = svc.submit_solve(small_spec, rhs)
+        with pytest.raises(BacklogFullError) as exc_info:
+            svc.submit_solve(small_spec, rhs)
+        assert exc_info.value.retry_after is not None
+        svc.start()
+        assert h.result(TIMEOUT) is not None
+        svc.close()
+
+    def test_rejected_rhs_never_consumes_a_slot(self, small_spec, warm_cache):
+        with SolveService(
+            cache=warm_cache, workers=1, max_inflight=1
+        ) as svc:
+            with pytest.raises(RequestFailedError):
+                svc.submit_solve(small_spec, np.full(small_spec.n, np.nan))
+            assert svc.inflight == 0
+
+    def test_completed_requests_record_nonnegative_slack(
+        self, small_spec, warm_cache, rhs
+    ):
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            svc.submit_solve(small_spec, rhs, timeout=30.0).result(TIMEOUT)
+            slack = svc.metrics.to_dict()["deadline_slack_seconds"]["solve"]
+        assert slack["count"] == 1
+        assert slack["late"] == 0  # nothing executed past its deadline
+        assert slack["min"] > 0.0
+
+    def test_invalid_max_inflight_rejected(self, warm_cache):
+        with pytest.raises(ValueError):
+            SolveService(cache=warm_cache, max_inflight=0, start=False)
+
+
+class TestDrainProtocol:
+    def test_drain_flushes_seals_and_blocks_admissions(
+        self, small_spec, rhs, tmp_path
+    ):
+        cache = OperatorCache(directory=tmp_path)
+        cache.get_or_build(small_spec)
+        for stale in tmp_path.iterdir():  # give seal() work to do
+            stale.unlink()
+        with SolveService(cache=cache, workers=1) as svc:
+            h = svc.submit_solve(small_spec, rhs)
+            summary = svc.drain(timeout=TIMEOUT)
+            assert summary["drained"] is True
+            assert summary["inflight_remaining"] == 0
+            assert summary["sealed_entries"] == 1
+            assert h.result(TIMEOUT) is not None  # flushed, not dropped
+            with pytest.raises(ServiceDrainingError):
+                svc.submit_solve(small_spec, rhs)
+            assert svc.metrics.counter("rejected_draining") == 1
+            assert svc.metrics.counter("drains_completed") == 1
+
+    def test_resume_reopens_admissions(self, small_spec, warm_cache, rhs):
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            svc.drain(timeout=TIMEOUT)
+            assert svc.draining
+            svc.resume()
+            assert not svc.draining
+            assert svc.submit_solve(small_spec, rhs).result(TIMEOUT) is not None
+
+    def test_drain_timeout_reports_stragglers(
+        self, small_spec, warm_cache, rhs
+    ):
+        svc = SolveService(cache=warm_cache, workers=1, start=False)
+        svc.submit_solve(small_spec, rhs)  # staged, dispatcher never runs
+        summary = svc.drain(timeout=0.05)
+        assert summary["drained"] is False
+        assert summary["inflight_remaining"] == 1
+        svc.resume()
+        svc.close()
+
+    def test_drain_after_close_raises(self, warm_cache):
+        svc = SolveService(cache=warm_cache, workers=1, start=False)
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.drain()
+
+    def test_drain_is_idempotent(self, warm_cache):
+        with SolveService(cache=warm_cache, workers=1) as svc:
+            first = svc.drain(timeout=TIMEOUT)
+            second = svc.drain(timeout=TIMEOUT)
+            assert first["drained"] and second["drained"]
+            assert second["sealed_entries"] == 0  # nothing left to seal
