@@ -19,6 +19,11 @@ Commands
 ``bench-serve``
     Serving-path throughput benchmark: batched vs one-at-a-time
     request handling, cold vs warm cache latency.
+``serve-fleet``
+    Sharded serving-fleet demo (:class:`repro.service.FleetService`):
+    consistent-hash routing over supervised shard processes, with
+    optional mid-run chaos (``--kill-shard``) to demonstrate failover
+    replay and warm respawn.
 """
 
 from __future__ import annotations
@@ -185,6 +190,37 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--trace", type=str, default=None,
                     help="write a Chrome trace JSON of the serving run")
     sv.add_argument("--seed", type=int, default=0)
+
+    fl = sub.add_parser(
+        "serve-fleet", help="sharded serving-fleet demo (repro.service.fleet)"
+    )
+    fl.add_argument("--shards", type=int, default=2,
+                    help="shard processes behind the front door")
+    fl.add_argument("--replication", type=int, default=2,
+                    help="preference-list length for hot operators "
+                         "(primary + replicas; 1 disables replication)")
+    fl.add_argument("--kill-shard", type=int, default=None, metavar="I",
+                    help="chaos: SIGKILL shard I halfway through the "
+                         "request stream and report the failover")
+    fl.add_argument("--operators", type=int, default=3,
+                    help="distinct operators routed across the fleet")
+    fl.add_argument("--requests", type=int, default=48,
+                    help="total solve/logdet requests to fire")
+    fl.add_argument("--viruses", type=int, default=2)
+    fl.add_argument("--points-per-virus", type=int, default=200)
+    fl.add_argument("--tile-size", type=int, default=100)
+    fl.add_argument("--accuracy", type=float, default=1e-6)
+    fl.add_argument("--workers-per-shard", type=int, default=2)
+    fl.add_argument("--cache-dir", type=str, default=None,
+                    help="shared sealed-cache directory (the warm-handoff "
+                         "medium; default: private temp dir)")
+    fl.add_argument("--request-timeout", type=float, default=60.0,
+                    help="per-request end-to-end deadline in seconds")
+    fl.add_argument("--heartbeat-interval", type=float, default=0.1)
+    fl.add_argument("--checkpoint-interval", type=float, default=2.0,
+                    help="seconds between periodic cache seals in each "
+                         "shard (bounds respawn-to-warm time)")
+    fl.add_argument("--seed", type=int, default=0)
 
     bs = sub.add_parser(
         "bench-serve", help="serving-path throughput benchmark"
@@ -512,6 +548,102 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args) -> int:
+    from repro.geometry import min_spacing, virus_population
+    from repro.service import FleetService, OperatorSpec, ServiceError
+
+    specs = []
+    for i in range(args.operators):
+        pts = virus_population(
+            args.viruses,
+            points_per_virus=args.points_per_virus,
+            cube_edge=1.7,
+            seed=args.seed + i,
+        )
+        specs.append(
+            OperatorSpec(
+                points=pts,
+                shape_parameter=0.5 * min_spacing(pts) * 40,
+                tile_size=args.tile_size,
+                accuracy=args.accuracy,
+                nugget=1e-4,
+                label=f"op-{i}",
+            )
+        )
+    rng = np.random.default_rng(args.seed)
+    shed = 0
+    killed = None
+    with FleetService(
+        shards=args.shards,
+        replication=args.replication,
+        workers_per_shard=args.workers_per_shard,
+        cache_dir=args.cache_dir,
+        heartbeat_interval=args.heartbeat_interval,
+        checkpoint_interval=args.checkpoint_interval,
+    ) as fleet:
+        print(f"fleet up: {len(fleet.live_shards())} shard(s) "
+              f"{fleet.live_shards()}")
+        handles = []
+        for i in range(args.requests):
+            spec = specs[i % len(specs)]
+            try:
+                if i % 8 == 7:
+                    handles.append(
+                        fleet.submit_logdet(spec, timeout=args.request_timeout)
+                    )
+                else:
+                    handles.append(
+                        fleet.submit_solve(
+                            spec,
+                            rng.standard_normal(spec.n),
+                            timeout=args.request_timeout,
+                        )
+                    )
+            except ServiceError:
+                shed += 1
+            if args.kill_shard is not None and i == args.requests // 2:
+                try:
+                    pid = fleet.kill_shard(args.kill_shard)
+                    killed = (f"shard-{args.kill_shard}", pid)
+                    print(f"chaos: SIGKILLed shard-{args.kill_shard} "
+                          f"(pid {pid}) mid-stream")
+                except ServiceError as exc:
+                    print(f"chaos: {exc}", file=sys.stderr)
+        failed = 0
+        for h in handles:
+            try:
+                h.result()
+            except ServiceError:
+                failed += 1
+        snapshot = fleet.metrics.to_dict()
+        report = fleet.report()
+        statuses = fleet.status()
+    c = snapshot["counters"]
+    print(f"served {args.requests} requests over {args.operators} operator(s), "
+          f"{args.shards} shard(s), replication {args.replication}")
+    print(f"completed={c.get('completed', 0)} failed={failed} shed={shed} "
+          f"replayed={report['requests_replayed']} "
+          f"stale={report['stale_results']}")
+    for kind, lat in sorted(snapshot.get("latency_seconds", {}).items()):
+        print(f"latency[{kind}]: p50 {lat['p50']*1e3:.1f} ms, "
+              f"p99 {lat['p99']*1e3:.1f} ms")
+    for s in statuses:
+        print(f"  {s.name}: {s.state} epoch={s.epoch} "
+              f"completed={s.completed} cache={s.cache_entries}")
+    if killed is not None:
+        print(f"failover: killed {killed[0]} (pid {killed[1]}); "
+              f"respawns={report['supervisor']['respawns']}, "
+              f"replayed={report['requests_replayed']}, "
+              f"verified-identical={report['replay_verified_identical']}, "
+              f"mismatches={report['replay_mismatch']}")
+        if report["respawns"]:
+            r = report["respawns"][-1]
+            print(f"respawn: {r['shard']} back in "
+                  f"{r['respawn_seconds']*1e3:.0f} ms with "
+                  f"{r['warm_disk_entries']} warm disk entries")
+    return 1 if (failed and killed is None) else 0
+
+
 def _cmd_bench_serve(args) -> int:
     import json as _json
 
@@ -566,6 +698,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tune(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "serve-fleet":
+        return _cmd_serve_fleet(args)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -71,8 +71,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import queue as queue_mod
 import time
+from collections import deque
+from multiprocessing import connection as mp_connection
 
 from repro.runtime.checkpoint import CheckpointManager
 from repro.runtime.dag import TaskGraph
@@ -313,8 +314,17 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                     time.sleep(pause)
                 attempt += 1
 
-    def _worker_main(self, lane, graph, data, arena, task_q, result_q) -> None:
-        """Worker process body: serve tasks until the ``None`` sentinel."""
+    def _worker_main(self, lane, graph, data, arena, task_q, result_conn) -> None:
+        """Worker process body: serve tasks until the ``None`` sentinel.
+
+        Results travel on a per-lane pipe whose write end only this
+        process holds.  A shared ``mp.Queue`` would do, except its
+        feeder thread takes a cross-process write lock around every
+        put — a SIGKILL landing inside that window (exactly what the
+        worker_kill fault injects) leaves the lock held forever and
+        deadlocks every surviving worker's results.  A single-writer
+        pipe has no lock to orphan.
+        """
         store = arena if arena is not None else data
         injector = self.fault_injector
         if injector is not None:
@@ -338,9 +348,13 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                     task, kernel, store, arena, expected
                 )
             except BaseException as exc:
-                result_q.put(
-                    (lane, idx, epoch, None, _picklable(exc), None, None, 0.0, 0.0)
-                )
+                try:
+                    result_conn.send(
+                        (lane, idx, epoch, None, _picklable(exc), None, None,
+                         0.0, 0.0)
+                    )
+                except (BrokenPipeError, OSError):  # coordinator is gone
+                    return
                 continue
             end = time.perf_counter()
             counters = None
@@ -354,9 +368,13 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                 {key: r[key] for key in r.keys() - base} or None
                 for r, base in zip(self._reports, report_base)
             ]
-            result_q.put(
-                (lane, idx, epoch, attempts, None, counters, reports, start, end)
-            )
+            try:
+                result_conn.send(
+                    (lane, idx, epoch, attempts, None, counters, reports,
+                     start, end)
+                )
+            except (BrokenPipeError, OSError):  # coordinator is gone
+                return
 
     # ------------------------------------------------------------------
     # coordinator side
@@ -490,7 +508,6 @@ class MultiprocessExecutionEngine(ExecutionEngine):
             hang_timeout = 0.8 * stall_timeout
 
         ctx = multiprocessing.get_context("fork")
-        result_q = ctx.Queue()
         num_workers = min(self.workers, target)
         budget = (
             self.max_respawns
@@ -501,22 +518,30 @@ class MultiprocessExecutionEngine(ExecutionEngine):
             max_respawns=budget, hang_timeout=hang_timeout
         )
         lane_queues: dict[int, object] = {}
+        #: lane -> read end of that lane's single-writer result pipe
+        result_conns: dict[int, object] = {}
         procs: dict[int, object] = {}
 
         def spawn(lane: int) -> None:
             # A fresh lane queue per (re)spawn: a task message the dead
             # worker never pulled must not reach its replacement — the
-            # coordinator requeues it explicitly, exactly once.
+            # coordinator requeues it explicitly, exactly once.  The
+            # result pipe is fresh too; its write end lives only in the
+            # new child (the parent drops its copy right after the
+            # fork), so worker death reads as EOF, never a stuck lock.
             q = ctx.SimpleQueue()
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
             p = ctx.Process(
                 target=self._worker_main,
-                args=(lane, graph, data, arena, q, result_q),
+                args=(lane, graph, data, arena, q, send_conn),
                 name=f"tlr-mp-worker-{lane}",
                 daemon=True,
             )
             lane_queues[lane] = q
             procs[lane] = p
             p.start()
+            send_conn.close()
+            result_conns[lane] = recv_conn
             self.worker_pids[lane] = p.pid
             supervisor.attach(lane, p)
 
@@ -538,6 +563,8 @@ class MultiprocessExecutionEngine(ExecutionEngine):
         #: epoch and is dropped instead of double-retiring the task)
         task_epoch: dict[int, int] = {}
         idle: set[int] = set(range(num_workers))
+        #: results received but not yet processed (drained per wait())
+        inbox: deque = deque()
         heals: dict[int, int] = {}
         failure: BaseException | None = None
         mirror_hard_crash = False
@@ -566,6 +593,18 @@ class MultiprocessExecutionEngine(ExecutionEngine):
         def recover(f) -> None:
             """Supervised recovery of one dead/hung lane."""
             nonlocal last_progress
+            dead_conn = result_conns.pop(f.lane, None)
+            if dead_conn is not None:
+                # Complete frames the dying worker raced out still sit
+                # in the pipe buffer; pull them through the normal
+                # stale-result path (the epoch bump below drops them)
+                # rather than losing their accounting.
+                try:
+                    while dead_conn.poll(0):
+                        inbox.append(dead_conn.recv())
+                except (EOFError, OSError):
+                    pass  # torn trailing frame from mid-send death
+                dead_conn.close()
             idx = lane_task.pop(f.lane, None)
             idle.discard(f.lane)
             if idx is not None:
@@ -601,9 +640,25 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                         f"dependencies)"
                     )
                     break
-                try:
-                    msg = result_q.get(timeout=_POLL_SECONDS)
-                except queue_mod.Empty:
+                if not inbox:
+                    lanes = {conn: ln for ln, conn in result_conns.items()}
+                    ready = mp_connection.wait(
+                        list(lanes), timeout=_POLL_SECONDS
+                    )
+                    for conn in ready:
+                        try:
+                            inbox.append(conn.recv())
+                            while conn.poll(0):
+                                inbox.append(conn.recv())
+                        except (EOFError, OSError):
+                            # The writer died.  Stop waiting on this
+                            # pipe — an EOF conn is permanently
+                            # "ready" and would starve the supervisor
+                            # poll below; supervisor.poll() recovers
+                            # the lane and spawn() replaces the pipe.
+                            result_conns.pop(lanes[conn], None)
+                            conn.close()
+                if not inbox:
                     failures = supervisor.poll()
                     for f in failures:
                         if f.injected_hard_crash:
@@ -653,6 +708,7 @@ class MultiprocessExecutionEngine(ExecutionEngine):
                         break
                     continue
 
+                msg = inbox.popleft()
                 lane, idx, epoch, attempts, exc, counters, reports, start, end = msg
                 if (
                     idx not in outstanding
@@ -732,8 +788,8 @@ class MultiprocessExecutionEngine(ExecutionEngine):
             supervisor.detach_all()
             for q in lane_queues.values():
                 q.close()
-            result_q.close()
-            result_q.join_thread()
+            for conn in result_conns.values():
+                conn.close()
             if arena is not None:
                 # Written tiles were already copied out per retirement;
                 # the segments hold nothing the caller still needs.

@@ -1,4 +1,4 @@
-"""Worker supervision for the process-pool execution engine.
+"""Process supervision: liveness, hang-kill, and respawn budgets.
 
 The mp engine's original failure model was fail-fast: any worker death
 killed the whole run (mirroring exit 137 for the injected hard-crash
@@ -7,24 +7,21 @@ default on the road to a long-lived serving fleet — the distributed
 runtimes this project models (PaRSEC, the fan-both solvers) treat node
 loss as an operating condition, not an exception.
 
-:class:`WorkerSupervisor` is the coordinator-side bookkeeping for that
-standard: it watches each worker lane's process handle and dispatch
-state, classifies failures, and enforces the respawn budget.  The
-engine keeps the mechanics (re-forking, queue plumbing, tile
-restoration) because they need engine internals; the supervisor owns
-the *policy*:
+Two supervised process populations share the same skeleton:
 
-* **liveness** — a lane whose process has an exit code is dead.  Exit
-  137 is the injected ``hard_crash`` (``os._exit(137)``), which the
-  engine still mirrors for checkpoint/restart semantics; anything else
-  (a real ``SIGKILL`` shows as -9) is a supervised failure.
-* **hangs** — a lane that has held one task longer than
-  ``hang_timeout`` seconds is wedged (livelocked kernel, lost worker).
-  The supervisor delivers a real ``SIGKILL`` and reports it like a
-  death, so one recovery path serves both.
-* **budget** — ``max_respawns`` bounds total replacements per run; a
-  crash loop surfaces as :class:`~repro.runtime.parallel_mp.
-  WorkerCrashError` instead of respawning forever.
+* **kernel workers** (:class:`WorkerSupervisor`, used by the
+  process-pool execution engine) — hang detection keys off *dispatch
+  state*: a lane that has held one task too long is wedged;
+* **service shards** (:class:`repro.service.health.ShardSupervisor`) —
+  hang detection keys off *heartbeats*: a shard that stops beating is
+  wedged even when it holds no request at all.
+
+:class:`ProcessSupervisor` is the shared core: a keyed registry of
+process handles, exit-code liveness polling, SIGKILL delivery, and the
+respawn budget.  Subclasses own their population's hang semantics and
+failure records; the engines/fleets keep the recovery *mechanics*
+(re-forking, queue plumbing, state restoration) because those need
+internals — the supervisor owns the *policy*.
 
 Worker lifecycle state machine (one lane)::
 
@@ -46,7 +43,82 @@ import signal
 import time
 from dataclasses import dataclass
 
-__all__ = ["WorkerFailure", "WorkerSupervisor"]
+__all__ = ["ProcessSupervisor", "WorkerFailure", "WorkerSupervisor"]
+
+
+class ProcessSupervisor:
+    """Keyed process registry + liveness polling + respawn budget.
+
+    Parameters
+    ----------
+    max_respawns:
+        Total replacement processes allowed over this supervisor's
+        lifetime.  0 disables recovery (every failure is fatal).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, max_respawns: int = 0, clock=time.monotonic) -> None:
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
+        self.max_respawns = int(max_respawns)
+        self._clock = clock
+        self._procs: dict = {}
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+
+    def attach(self, key, process) -> None:
+        """Register (or replace, after a respawn) a key's process."""
+        self._procs[key] = process
+
+    def detach(self, key) -> None:
+        self._procs.pop(key, None)
+
+    def detach_all(self) -> None:
+        self._procs.clear()
+
+    def process_of(self, key):
+        return self._procs.get(key)
+
+    def keys(self) -> list:
+        return sorted(self._procs)
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+
+    def poll_exits(self) -> list[tuple[object, object, int]]:
+        """``(key, process, exitcode)`` for every registered process
+        that has exited (negative exit code = died by signal)."""
+        dead = []
+        for key in sorted(self._procs):
+            proc = self._procs[key]
+            code = proc.exitcode
+            if code is not None:
+                dead.append((key, proc, code))
+        return dead
+
+    @staticmethod
+    def _kill(proc) -> None:
+        """Deliver SIGKILL and reap (idempotent, race-tolerant)."""
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):  # already gone
+            pass
+        proc.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # respawn budget
+    # ------------------------------------------------------------------
+
+    def can_respawn(self) -> bool:
+        return self.respawns < self.max_respawns
+
+    def record_respawn(self, key) -> None:
+        self.respawns += 1
 
 
 @dataclass(frozen=True)
@@ -73,7 +145,7 @@ class WorkerFailure:
         return self.exitcode == 137
 
 
-class WorkerSupervisor:
+class WorkerSupervisor(ProcessSupervisor):
     """Liveness + hang detection + respawn budget over worker lanes.
 
     Parameters
@@ -97,19 +169,14 @@ class WorkerSupervisor:
         hang_timeout: float | None = None,
         clock=time.monotonic,
     ) -> None:
-        if max_respawns < 0:
-            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
+        super().__init__(max_respawns=max_respawns, clock=clock)
         if hang_timeout is not None and hang_timeout <= 0.0:
             raise ValueError(
                 f"hang_timeout must be positive or None, got {hang_timeout}"
             )
-        self.max_respawns = int(max_respawns)
         self.hang_timeout = hang_timeout
-        self._clock = clock
-        self._procs: dict[int, object] = {}
         #: lane -> (task index, dispatch timestamp) while busy
         self._busy: dict[int, tuple[int, float]] = {}
-        self.respawns = 0
         self.hung_killed = 0
         self.tasks_requeued = 0
         self.tiles_restored = 0
@@ -121,11 +188,11 @@ class WorkerSupervisor:
 
     def attach(self, lane: int, process) -> None:
         """Register (or replace, after a respawn) a lane's process."""
-        self._procs[lane] = process
+        super().attach(lane, process)
         self._busy.pop(lane, None)
 
     def detach_all(self) -> None:
-        self._procs.clear()
+        super().detach_all()
         self._busy.clear()
 
     def task_dispatched(self, lane: int, task_index: int) -> None:
@@ -152,19 +219,22 @@ class WorkerSupervisor:
         """
         failures: list[WorkerFailure] = []
         now = self._clock()
-        for lane, proc in sorted(self._procs.items()):
-            code = proc.exitcode
-            if code is not None:
-                failures.append(
-                    WorkerFailure(
-                        lane=lane,
-                        pid=proc.pid,
-                        exitcode=code,
-                        hung=False,
-                        task_index=self.task_of(lane),
-                    )
+        dead_lanes = set()
+        for lane, proc, code in self.poll_exits():
+            dead_lanes.add(lane)
+            failures.append(
+                WorkerFailure(
+                    lane=lane,
+                    pid=proc.pid,
+                    exitcode=code,
+                    hung=False,
+                    task_index=self.task_of(lane),
                 )
+            )
+        for lane in sorted(self._procs):
+            if lane in dead_lanes:
                 continue
+            proc = self._procs[lane]
             entry = self._busy.get(lane)
             if (
                 self.hang_timeout is not None
@@ -184,23 +254,12 @@ class WorkerSupervisor:
                 )
         return failures
 
-    @staticmethod
-    def _kill(proc) -> None:
-        try:
-            os.kill(proc.pid, signal.SIGKILL)
-        except (ProcessLookupError, PermissionError):  # already gone
-            pass
-        proc.join(timeout=5.0)
-
     # ------------------------------------------------------------------
     # respawn budget
     # ------------------------------------------------------------------
 
-    def can_respawn(self) -> bool:
-        return self.respawns < self.max_respawns
-
     def record_respawn(self, lane: int) -> None:
-        self.respawns += 1
+        super().record_respawn(lane)
         self._busy.pop(lane, None)
 
     def report(self) -> dict[str, int]:

@@ -21,7 +21,12 @@ a per-call expense.  The subsystem provides
 - :class:`RetryBudget` — per-operator token bucket keeping build
   retries from amplifying an outage;
 - :class:`ServiceMetrics` — latency percentiles, hit rates, batch
-  shapes, Chrome-trace export via :mod:`repro.runtime.tracing`.
+  shapes, Chrome-trace export via :mod:`repro.runtime.tracing`;
+- :class:`FleetService` — N supervised shard processes behind a
+  consistent-hash front door (:class:`FleetRouter`), with heartbeat
+  liveness (:class:`ShardSupervisor`), hot-operator replication,
+  failover replay of in-flight requests, and warm handoff through the
+  shared sealed cache.
 """
 
 from repro.service.batching import RequestBatcher
@@ -39,8 +44,14 @@ from repro.service.errors import (
     ServiceDrainingError,
     ServiceError,
     ServiceOverloadedError,
+    ShardFailedError,
+    ShardUnavailableError,
+    reconstruct_error,
 )
+from repro.service.fleet import FleetService, ShardStatus
+from repro.service.health import ShardFailure, ShardSupervisor
 from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.router import ConsistentHashRing, FleetRouter, RouteDecision
 from repro.service.server import Request, RequestHandle, SolveService
 from repro.service.spec import KERNELS, BuiltOperator, OperatorSpec
 
@@ -69,4 +80,14 @@ __all__ = [
     "CircuitOpenError",
     "RetryBudgetExhaustedError",
     "CorruptResultError",
+    "ShardFailedError",
+    "ShardUnavailableError",
+    "reconstruct_error",
+    "FleetService",
+    "ShardStatus",
+    "ConsistentHashRing",
+    "FleetRouter",
+    "RouteDecision",
+    "ShardFailure",
+    "ShardSupervisor",
 ]

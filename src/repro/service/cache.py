@@ -409,6 +409,27 @@ class OperatorCache:
             sealed += 1
         return sealed
 
+    def fingerprints(self) -> list[str]:
+        """Resident fingerprints, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def disk_fingerprints(self) -> list[str]:
+        """Fingerprints sealed on disk (manifest present), sorted.
+
+        The fleet's warm-handoff inventory: a respawned shard pointed
+        at this directory serves exactly these operators from disk
+        instead of rebuilding.  Fleet shards share one directory, so
+        an entry sealed by any shard warms every future failover.
+        """
+        if self.directory is None:
+            return []
+        suffix = ".manifest.json"
+        return sorted(
+            p.name[: -len(suffix)]
+            for p in self.directory.glob(f"*{suffix}")
+        )
+
     def clear(self) -> None:
         """Drop resident entries (disk persistence is left intact)."""
         with self._lock:

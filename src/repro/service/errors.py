@@ -19,6 +19,9 @@ __all__ = [
     "CircuitOpenError",
     "RetryBudgetExhaustedError",
     "CorruptResultError",
+    "ShardFailedError",
+    "ShardUnavailableError",
+    "reconstruct_error",
 ]
 
 
@@ -134,3 +137,61 @@ class CorruptResultError(ServiceError):
             "non-finite values; cached factor is corrupt and has been "
             "dropped for rebuild"
         )
+
+
+class ShardFailedError(ServiceError):
+    """The request's shard died and the request could not be replayed.
+
+    Raised on a fleet request handle when the owning shard process
+    failed (SIGKILL, crash, hung-and-killed) and failover could not
+    complete it: no surviving shard, replay attempts exhausted, or the
+    respawn budget is spent.  An admitted request only ever surfaces
+    this after the fleet has genuinely run out of places to send it.
+    """
+
+
+class ShardUnavailableError(ServiceError):
+    """No live shard exists to route the request to.
+
+    Raised synchronously at fleet submission when the hash ring is
+    empty (every shard dead with the respawn budget exhausted, or the
+    fleet not yet started).
+    """
+
+
+#: Service errors a shard can report across the process boundary that
+#: reconstruct faithfully from their message alone.  Errors with richer
+#: constructors (fingerprint + attempts + cause...) do not round-trip
+#: through pickle safely, so shard replies carry ``(class name, text)``
+#: and the fleet rebuilds the typed error here — unknown names degrade
+#: to :class:`RequestFailedError` rather than crashing the router.
+_WIRE_SAFE: dict[str, type] = {}
+
+
+def reconstruct_error(name: str, message: str) -> "ServiceError":
+    """Rebuild a typed service error from a shard's wire reply."""
+    if not _WIRE_SAFE:
+        _WIRE_SAFE.update(
+            {
+                cls.__name__: cls
+                for cls in (
+                    ServiceError,
+                    BacklogFullError,
+                    ServiceOverloadedError,
+                    ServiceDrainingError,
+                    DeadlineExpiredError,
+                    ServiceClosedError,
+                    RequestFailedError,
+                    CircuitOpenError,
+                    RetryBudgetExhaustedError,
+                    ShardFailedError,
+                    ShardUnavailableError,
+                )
+            }
+        )
+    cls = _WIRE_SAFE.get(name)
+    if cls is not None:
+        return cls(message)
+    # FactorizationFailedError / CorruptResultError and any non-service
+    # exception: preserve the text, lose the exotic constructor
+    return RequestFailedError(f"{name}: {message}")

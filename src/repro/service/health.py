@@ -1,0 +1,182 @@
+"""Shard health: heartbeat liveness and the shard respawn budget.
+
+:class:`ShardSupervisor` generalizes the mp engine's
+:class:`~repro.runtime.supervisor.WorkerSupervisor` from kernel worker
+lanes to whole service processes.  The detection signal changes with
+the population: a kernel worker is *busy or idle* — hang detection
+keys off how long it has held one task — but a shard is a full
+:class:`~repro.service.server.SolveService` whose event loop must stay
+responsive even when no request is in flight.  So shards prove
+liveness affirmatively, with heartbeats over a dedicated pipe, and a
+shard whose last beat is older than ``heartbeat_timeout`` is declared
+hung and SIGKILLed into the one recovery path (death), exactly as the
+worker supervisor folds hangs into kills.
+
+Heartbeats carry more than a timestamp: each beat piggybacks the
+shard's warm-handoff payload (circuit-breaker and retry-budget state,
+see :meth:`SolveService.export_handoff`) plus occupancy gauges.  That
+makes *crash* recovery a warm handoff too — the fleet respawns a
+SIGKILLed shard with the state from its last beat, so the replacement
+does not re-probe known-bad operators at full rate, and the sealed
+disk cache restores its factors without a rebuild.
+
+A freshly attached shard gets a grace period of one ``heartbeat_timeout``
+from attach time before staleness can fire: process startup (fork,
+cache recovery scan) legitimately precedes the first beat.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.runtime.supervisor import ProcessSupervisor
+
+__all__ = ["ShardFailure", "ShardSupervisor"]
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One detected shard failure, as the fleet consumes it."""
+
+    #: shard name (stable across respawns — the ring arc identity)
+    shard: str
+    #: OS pid of the failed process
+    pid: int
+    #: exit code (negative = died by signal); for a hung shard this is
+    #: the post-SIGKILL code (or ``None`` if it refused to die)
+    exitcode: int | None
+    #: True when the failure is a stale heartbeat resolved by SIGKILL
+    hung: bool
+    #: seconds since the last observed heartbeat at detection time
+    beat_age: float
+
+
+class ShardSupervisor(ProcessSupervisor):
+    """Heartbeat liveness + respawn budget over service shards.
+
+    Parameters
+    ----------
+    max_respawns:
+        Total replacement shards allowed over the fleet's lifetime.
+        0 disables recovery: a dead shard's arc permanently flows to
+        its ring successors.
+    heartbeat_timeout:
+        Seconds without a heartbeat after which a live-looking shard is
+        declared hung and killed.  ``None`` disables staleness
+        detection (exit codes still detect deaths).
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_respawns: int = 0,
+        heartbeat_timeout: float | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        super().__init__(max_respawns=max_respawns, clock=clock)
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0.0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive or None, "
+                f"got {heartbeat_timeout}"
+            )
+        self.heartbeat_timeout = heartbeat_timeout
+        #: shard -> last beat timestamp (attach time until the first beat)
+        self._beats: dict[str, float] = {}
+        #: shard -> payload of the last beat (warm-handoff state)
+        self._payloads: dict[str, dict] = {}
+        self.hung_killed = 0
+        self.beats_seen = 0
+
+    # ------------------------------------------------------------------
+    # fleet-facing bookkeeping
+    # ------------------------------------------------------------------
+
+    def attach(self, shard: str, process) -> None:
+        """Register (or replace, after a respawn) a shard's process.
+
+        Attach time counts as a synthetic first beat, giving the new
+        process one full timeout to come up before staleness can fire.
+        """
+        super().attach(shard, process)
+        self._beats[shard] = self._clock()
+
+    def detach(self, shard: str) -> None:
+        super().detach(shard)
+        self._beats.pop(shard, None)
+        # the payload is deliberately kept: it is the warm-handoff
+        # state a future respawn of this shard name imports
+
+    def beat(self, shard: str, payload: dict[str, Any] | None = None) -> None:
+        """Record one heartbeat (and its piggybacked handoff state)."""
+        self._beats[shard] = self._clock()
+        self.beats_seen += 1
+        if payload is not None:
+            self._payloads[shard] = payload
+
+    def beat_age(self, shard: str) -> float | None:
+        """Seconds since the shard's last beat (None if never attached)."""
+        last = self._beats.get(shard)
+        return None if last is None else self._clock() - last
+
+    def last_payload(self, shard: str) -> dict[str, Any] | None:
+        """The shard's most recent heartbeat payload — the state a
+        respawn imports for warm handoff after a crash."""
+        return self._payloads.get(shard)
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+
+    def poll(self) -> list[ShardFailure]:
+        """Detect dead and heartbeat-stale shards (stale ones are
+        SIGKILLed here, folding hangs into the single death path).
+
+        Each failure is reported exactly once: the fleet either
+        respawns the shard (re-attaching a fresh process) or removes
+        its arc for good, so a reported shard never re-enters the scan
+        as the same corpse.
+        """
+        failures: list[ShardFailure] = []
+        now = self._clock()
+        dead = set()
+        for shard, proc, code in self.poll_exits():
+            dead.add(shard)
+            failures.append(
+                ShardFailure(
+                    shard=shard,
+                    pid=proc.pid,
+                    exitcode=code,
+                    hung=False,
+                    beat_age=now - self._beats.get(shard, now),
+                )
+            )
+        if self.heartbeat_timeout is not None:
+            for shard in self.keys():
+                if shard in dead:
+                    continue
+                age = now - self._beats.get(shard, now)
+                if age >= self.heartbeat_timeout:
+                    proc = self.process_of(shard)
+                    self.hung_killed += 1
+                    self._kill(proc)
+                    failures.append(
+                        ShardFailure(
+                            shard=shard,
+                            pid=proc.pid,
+                            exitcode=proc.exitcode,
+                            hung=True,
+                            beat_age=age,
+                        )
+                    )
+        return failures
+
+    def report(self) -> dict[str, int]:
+        """Counters for this fleet (merged into fleet reports)."""
+        return {
+            "respawns": self.respawns,
+            "hung_killed": self.hung_killed,
+            "beats_seen": self.beats_seen,
+        }

@@ -80,6 +80,20 @@ class ServiceMetrics:
         with self._lock:
             self._bytes_resident = int(nbytes)
 
+    def merge_counters(self, counters, prefix: str = "") -> None:
+        """Fold another metrics snapshot's counters into this one.
+
+        The fleet aggregates per-shard counter snapshots (shipped in
+        heartbeats and drain replies) into its own metrics under a
+        ``prefix`` (e.g. ``"shard_"``), so cache hit rates and shed
+        counts across the whole fleet read from one place.  Merging is
+        additive; call it with each shard's *delta* or final snapshot,
+        not repeatedly with cumulative ones.
+        """
+        with self._lock:
+            for name, value in dict(counters).items():
+                self._counters[f"{prefix}{name}"] += int(value)
+
     def record_event(
         self,
         klass: str,

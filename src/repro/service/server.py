@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import itertools
 import queue
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -249,6 +250,13 @@ class SolveService:
         self.retry_budget = (
             retry_budget if retry_budget is not None else RetryBudget()
         )
+        # Full-jitter backoff (AWS architecture blog's recommendation):
+        # after a failover, N shards rebuilding the same hot operator
+        # would otherwise sleep identical exponential pauses and re-hit
+        # the compression pipeline in lockstep; drawing each pause
+        # uniformly from [0, cap] decorrelates the herd.  OS-seeded:
+        # determinism here would defeat the point.
+        self._backoff_rng = random.Random()
         self._queue: queue.Queue = queue.Queue(maxsize=self.backlog)
         self._batcher = RequestBatcher(max_batch=max_batch, max_wait=max_wait)
         self._executor = ThreadPoolExecutor(
@@ -392,6 +400,9 @@ class SolveService:
             "inflight_remaining": inflight,
             "sealed_entries": sealed,
             "drain_seconds": time.monotonic() - t0,
+            # protection state rides the handoff payload: the successor
+            # imports it so open breakers stay open across the swap
+            "handoff": self.export_handoff(),
         }
         if inflight == 0:
             self.metrics.count("drains_completed")
@@ -744,9 +755,7 @@ class SolveService:
                     raise FactorizationFailedError(
                         spec.fingerprint, attempts, exc
                     ) from exc
-                pause = min(
-                    self.build_backoff * 2.0**attempt, 10 * self.build_backoff
-                )
+                pause = self._backoff_pause(attempt)
                 if deadline is not None and (
                     time.monotonic() + pause >= deadline
                 ):
@@ -778,6 +787,57 @@ class SolveService:
                 )
             return entry
         raise AssertionError("unreachable")
+
+    def _backoff_pause(self, attempt: int) -> float:
+        """Full-jitter pause before build retry ``attempt + 1``.
+
+        Drawn uniformly from ``[0, cap]`` where ``cap`` is the capped
+        exponential ``build_backoff * 2**attempt``: retrying shards
+        spread across the whole window instead of synchronizing on the
+        exponential's discrete steps (the post-failover thundering-herd
+        pattern this exists to break).
+        """
+        cap = min(self.build_backoff * 2.0**attempt, 10 * self.build_backoff)
+        return self._backoff_rng.uniform(0.0, cap)
+
+    # ------------------------------------------------------------------
+    # warm-handoff state transfer
+    # ------------------------------------------------------------------
+
+    def export_handoff(self) -> dict:
+        """Portable protection state for a successor process.
+
+        The warm-handoff payload: circuit-breaker states (open /
+        half-open / failure counts, clock re-anchored on import) and
+        retry-budget token levels.  The factors themselves hand off
+        through the sealed disk cache (:meth:`OperatorCache.seal`);
+        this is the part that lives only in memory — without it a
+        respawned shard would re-probe known-bad operators at full
+        rate until it relearned every open breaker the hard way.
+        """
+        return {
+            "breaker": self.breaker.export_state(),
+            "retry_budget": self.retry_budget.export_state(),
+        }
+
+    def import_handoff(self, payload: dict | None) -> dict:
+        """Adopt a predecessor's :meth:`export_handoff` payload.
+
+        Returns ``{"breaker_keys": ..., "retry_budget_keys": ...}``
+        import counts (both 0 for an empty/None payload).
+        """
+        if not payload:
+            return {"breaker_keys": 0, "retry_budget_keys": 0}
+        breaker_keys = self.breaker.import_state(payload.get("breaker", {}))
+        budget_keys = self.retry_budget.import_state(
+            payload.get("retry_budget", {})
+        )
+        if breaker_keys:
+            self.metrics.count("handoff_breaker_keys", breaker_keys)
+        return {
+            "breaker_keys": breaker_keys,
+            "retry_budget_keys": budget_keys,
+        }
 
     def _condemn(self, entry: CacheEntry, kind: str) -> None:
         """A finite-input request produced non-finite numbers: the

@@ -1,0 +1,248 @@
+"""End-to-end tests for the sharded serving fleet.
+
+Real shard processes (fork), a real SIGKILL chaos path, and a shared
+sealed cache directory — scaled down to one tiny operator so each
+fleet comes up in well under a second.  The invariants under test are
+the PR's acceptance criteria in miniature: zero admitted requests lost
+across a shard kill, failover answers bitwise identical to the
+original shard's, and respawn warm from the shared disk cache.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    FleetService,
+    RequestFailedError,
+    ServiceClosedError,
+    ShardUnavailableError,
+    reconstruct_error,
+)
+from repro.service.errors import DeadlineExpiredError, ServiceError
+
+TIMEOUT = 60.0
+
+
+def tiny_fleet(tmp_path, shards=2, **kw):
+    kw.setdefault("workers_per_shard", 1)
+    kw.setdefault("heartbeat_interval", 0.05)
+    kw.setdefault("checkpoint_interval", 0.5)
+    kw.setdefault("replication", 2)
+    return FleetService(shards=shards, cache_dir=tmp_path / "cache", **kw)
+
+
+def wait_for(predicate, timeout=20.0, interval=0.02):
+    give_up = time.monotonic() + timeout
+    while time.monotonic() < give_up:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestRoundTrip:
+    @pytest.mark.timeout(120)
+    def test_solve_logdet_and_occupancy(self, small_spec, rhs, tmp_path):
+        with tiny_fleet(tmp_path) as fleet:
+            assert len(fleet.live_shards()) == 2
+            x = fleet.submit_solve(small_spec, rhs, timeout=TIMEOUT).result(
+                TIMEOUT
+            )
+            assert x.shape == rhs.shape and np.isfinite(x).all()
+            # the shard solves against the same deterministic build, so
+            # the fleet answer equals a direct in-process answer
+            entry = small_spec.build()
+            from repro.core.solver import solve_cholesky
+
+            direct = solve_cholesky(entry.factor, rhs)
+            np.testing.assert_array_equal(x, direct)
+            ld = fleet.submit_logdet(small_spec, timeout=TIMEOUT).result(
+                TIMEOUT
+            )
+            assert np.isfinite(ld)
+            ticket = fleet.submit_occupancy("probe", 0.01, timeout=TIMEOUT)
+            assert ticket.result(TIMEOUT) == 0.01
+            assert fleet.metrics.counter("completed") == 3
+
+    @pytest.mark.timeout(120)
+    def test_validation_is_synchronous_at_the_front_door(
+        self, small_spec, tmp_path
+    ):
+        with tiny_fleet(tmp_path, shards=1) as fleet:
+            bad = np.full(small_spec.n, np.nan)
+            with pytest.raises(RequestFailedError, match="non-finite"):
+                fleet.submit_solve(small_spec, bad)
+            with pytest.raises(RequestFailedError, match="operator order"):
+                fleet.submit_solve(small_spec, np.ones(3))
+            with pytest.raises(ValueError, match="seconds"):
+                fleet.submit_occupancy("k", -1.0)
+            assert fleet.metrics.counter("submitted") == 0
+
+    @pytest.mark.timeout(120)
+    def test_closed_fleet_refuses_work(self, small_spec, rhs, tmp_path):
+        fleet = tiny_fleet(tmp_path, shards=1)
+        fleet.close()
+        with pytest.raises(ServiceClosedError):
+            fleet.submit_solve(small_spec, rhs)
+        fleet.close()  # idempotent
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            FleetService(shards=0, start=False)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            FleetService(shards=1, heartbeat_interval=0.0, start=False)
+
+
+class TestChaos:
+    @pytest.mark.timeout(180)
+    def test_shard_kill_loses_nothing_and_failover_is_bitwise(
+        self, small_spec, other_spec, tmp_path
+    ):
+        """SIGKILL the shard owning an operator with requests in flight:
+        every admitted request still completes, and a post-failover
+        probe answer is bitwise identical to the pre-kill one."""
+        rng = np.random.default_rng(5)
+        probe = rng.standard_normal((small_spec.n, 2))  # 2-D: solo solve
+        with tiny_fleet(tmp_path) as fleet:
+            # make both operators hot so the replicas are prewarmed
+            for spec in (small_spec, other_spec):
+                for h in fleet.prewarm(spec):
+                    h.result(TIMEOUT)
+            before = fleet.submit_solve(
+                small_spec, probe, timeout=TIMEOUT
+            ).result(TIMEOUT)
+            target = fleet._router.route(
+                small_spec.fingerprint, count=False
+            ).primary
+            # in-flight load on both shards at kill time
+            handles = [
+                fleet.submit_solve(
+                    spec, rng.standard_normal(spec.n), timeout=TIMEOUT
+                )
+                for spec in (small_spec, other_spec)
+                for _ in range(6)
+            ]
+            fleet.kill_shard(target)
+            for h in handles:  # zero admitted requests lost
+                assert np.isfinite(h.result(TIMEOUT)).all()
+            after = fleet.submit_solve(
+                small_spec, probe, timeout=TIMEOUT
+            ).result(TIMEOUT)
+            np.testing.assert_array_equal(before, after)
+            report = fleet.report()
+            assert report["failovers"] >= 1
+            assert report["replay_mismatch"] == 0
+            # the supervisor respawned the shard name we killed
+            assert wait_for(lambda: len(fleet.live_shards()) == 2)
+            assert fleet.metrics.counter("shard_failures") == 1
+
+    @pytest.mark.timeout(180)
+    def test_respawn_comes_back_warm_from_shared_cache(
+        self, small_spec, rhs, tmp_path
+    ):
+        with tiny_fleet(tmp_path) as fleet:
+            fleet.submit_solve(small_spec, rhs, timeout=TIMEOUT).result(TIMEOUT)
+            # wait for a checkpoint seal so the factor is on disk
+            assert wait_for(
+                lambda: any((tmp_path / "cache").glob("*.manifest.json"))
+            )
+            target = fleet._router.route(
+                small_spec.fingerprint, count=False
+            ).primary
+            fleet.kill_shard(target)
+            assert wait_for(lambda: fleet.report()["respawns"])
+            record = fleet.report()["respawns"][0]
+            assert record["shard"] == target and record["epoch"] == 1
+            assert record["warm_disk_entries"] >= 1
+            # respawn-to-warm-serving under one checkpoint interval
+            assert record["respawn_seconds"] < fleet.checkpoint_interval
+            assert wait_for(lambda: target in fleet.live_shards())
+            # the reborn shard serves its old arc again
+            x = fleet.submit_solve(small_spec, rhs, timeout=TIMEOUT).result(
+                TIMEOUT
+            )
+            assert np.isfinite(x).all()
+
+    @pytest.mark.timeout(180)
+    def test_respawn_budget_exhaustion_degrades_to_survivors(
+        self, small_spec, rhs, tmp_path
+    ):
+        with tiny_fleet(tmp_path, shards=2, max_respawns=0) as fleet:
+            target = fleet._router.route(
+                small_spec.fingerprint, count=False
+            ).primary
+            fleet.kill_shard(target)
+            assert wait_for(lambda: len(fleet.live_shards()) == 1)
+            # the dead arc flowed to the survivor; service continues
+            x = fleet.submit_solve(small_spec, rhs, timeout=TIMEOUT).result(
+                TIMEOUT
+            )
+            assert np.isfinite(x).all()
+            assert fleet.metrics.counter("respawn_budget_exhausted") == 1
+            assert fleet.report()["respawns"] == []
+
+    @pytest.mark.timeout(180)
+    def test_kill_unknown_shard_raises(self, tmp_path):
+        with tiny_fleet(tmp_path, shards=1) as fleet:
+            with pytest.raises(ShardUnavailableError):
+                fleet.kill_shard("shard-9")
+
+
+class TestMembership:
+    @pytest.mark.timeout(180)
+    def test_graceful_remove_returns_warm_handoff(
+        self, small_spec, rhs, tmp_path
+    ):
+        with tiny_fleet(tmp_path, shards=2) as fleet:
+            fleet.submit_solve(small_spec, rhs, timeout=TIMEOUT).result(TIMEOUT)
+            victim = fleet._router.route(
+                small_spec.fingerprint, count=False
+            ).primary
+            summary = fleet.remove_shard(victim)
+            assert summary["drained"] is True
+            assert "handoff" in summary and "breaker" in summary["handoff"]
+            assert summary["counters"].get("completed", 0) >= 1
+            assert victim not in fleet.live_shards()
+            # per-shard counters folded into the fleet's metrics
+            assert fleet.metrics.counter("shard_completed") >= 1
+            # the survivor owns the whole ring now
+            x = fleet.submit_solve(small_spec, rhs, timeout=TIMEOUT).result(
+                TIMEOUT
+            )
+            assert np.isfinite(x).all()
+
+    @pytest.mark.timeout(180)
+    def test_add_shard_scales_the_ring(self, tmp_path):
+        with tiny_fleet(tmp_path, shards=1) as fleet:
+            name = fleet.add_shard()
+            assert name in fleet.live_shards()
+            assert len(fleet.live_shards()) == 2
+
+    @pytest.mark.timeout(180)
+    def test_status_reports_every_shard(self, tmp_path):
+        with tiny_fleet(tmp_path, shards=2) as fleet:
+            statuses = fleet.status()
+            assert [s.name for s in statuses] == ["shard-0", "shard-1"]
+            assert all(s.state == "live" for s in statuses)
+            assert all(s.pid for s in statuses)
+
+
+class TestErrorWire:
+    def test_wire_safe_errors_round_trip(self):
+        err = reconstruct_error("DeadlineExpiredError", "too late")
+        assert isinstance(err, DeadlineExpiredError)
+        assert "too late" in str(err)
+
+    def test_exotic_errors_degrade_to_request_failed(self):
+        err = reconstruct_error(
+            "FactorizationFailedError", "op deadbeef failed"
+        )
+        assert isinstance(err, RequestFailedError)
+        assert "FactorizationFailedError" in str(err)
+        assert isinstance(err, ServiceError)
+
+    def test_unknown_names_never_crash_the_router(self):
+        err = reconstruct_error("SomethingWeird", "boom")
+        assert isinstance(err, RequestFailedError)

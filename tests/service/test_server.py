@@ -16,6 +16,7 @@ from repro.service import (
     BacklogFullError,
     DeadlineExpiredError,
     OperatorCache,
+    OperatorSpec,
     RequestFailedError,
     ServiceClosedError,
     ServiceDrainingError,
@@ -340,3 +341,67 @@ class TestDrainProtocol:
             second = svc.drain(timeout=TIMEOUT)
             assert first["drained"] and second["drained"]
             assert second["sealed_entries"] == 0  # nothing left to seal
+
+
+class TestJitteredBackoff:
+    """Build-retry pauses draw from the full-jitter distribution
+    uniform(0, min(base * 2^attempt, 10 * base)): after a failover a
+    herd of shards rebuilding the same hot operator must not retry in
+    lockstep, which deterministic exponential pauses would produce."""
+
+    def test_pause_within_full_jitter_envelope(self):
+        svc = SolveService(workers=1, build_backoff=0.05, start=False)
+        try:
+            for attempt in range(8):
+                cap = min(0.05 * 2.0**attempt, 0.5)
+                draws = [svc._backoff_pause(attempt) for _ in range(200)]
+                assert all(0.0 <= d <= cap for d in draws)
+                # full jitter, not equal jitter: the lower half of the
+                # envelope must actually be used
+                assert min(draws) < cap / 2
+                assert max(draws) > cap / 2
+        finally:
+            svc.close()
+
+    def test_pauses_are_decorrelated(self):
+        """Two services (two shards after a failover) draw different
+        pause sequences — the thundering-herd property itself."""
+        a = SolveService(workers=1, build_backoff=0.05, start=False)
+        b = SolveService(workers=1, build_backoff=0.05, start=False)
+        try:
+            seq_a = [a._backoff_pause(3) for _ in range(16)]
+            seq_b = [b._backoff_pause(3) for _ in range(16)]
+            assert seq_a != seq_b
+        finally:
+            a.close()
+            b.close()
+
+    def test_retry_sleeps_use_the_jittered_pause(
+        self, small_spec, rhs, monkeypatch
+    ):
+        """The retry loop must sleep exactly what _backoff_pause draws
+        (regression guard: the fixed exponential formula bypassed it)."""
+        import repro.service.server as server_mod
+
+        real_build = OperatorSpec.build
+        calls = {"n": 0}
+
+        def flaky(spec, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise np.linalg.LinAlgError("injected")
+            return real_build(spec, **kw)
+
+        monkeypatch.setattr(OperatorSpec, "build", flaky)
+        slept = []
+        monkeypatch.setattr(
+            server_mod.time, "sleep", lambda s: slept.append(s)
+        )
+        with SolveService(
+            workers=1, build_retries=1, build_backoff=0.04
+        ) as svc:
+            marker = 0.012345
+            svc._backoff_pause = lambda attempt: marker
+            x = svc.submit_solve(small_spec, rhs).result(TIMEOUT)
+            assert np.isfinite(x).all()
+        assert marker in slept

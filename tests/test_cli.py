@@ -98,6 +98,34 @@ class TestCommands:
                  if e["ph"] == "M"}
         assert "repro.service" in names and "dispatcher" in names
 
+    @pytest.mark.timeout(180)
+    def test_serve_fleet(self, capsys, tmp_path):
+        rc = main(
+            ["serve-fleet", "--viruses", "2", "--points-per-virus", "100",
+             "--tile-size", "50", "--operators", "1", "--requests", "8",
+             "--shards", "2", "--workers-per-shard", "1",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet up: 2 shard(s)" in out
+        assert "completed=8 failed=0" in out
+        assert "shard-0" in out and "shard-1" in out
+
+    @pytest.mark.timeout(180)
+    def test_serve_fleet_kill_shard_recovers(self, capsys, tmp_path):
+        rc = main(
+            ["serve-fleet", "--viruses", "2", "--points-per-virus", "100",
+             "--tile-size", "50", "--operators", "2", "--requests", "12",
+             "--shards", "2", "--workers-per-shard", "1", "--kill-shard", "0",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos: SIGKILLed shard-0" in out
+        assert "failover: killed shard-0" in out
+        assert "mismatches=0" in out
+
     def test_bench_serve(self, capsys, tmp_path):
         out_json = tmp_path / "bench.json"
         rc = main(
