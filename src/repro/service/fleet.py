@@ -63,6 +63,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import queue
 import signal
 import threading
 import time
@@ -335,6 +336,10 @@ class _Pending:
     deadline: float | None = None
     attempts: int = 1  # successful sends (replays increment)
     replayed: bool = False
+    #: epoch of the shard handle the latest dispatch targeted, so a
+    #: stale writer-thread failure can tell whether the request has
+    #: already been re-homed
+    sent_epoch: int = 0
     submitted_at: float = field(default_factory=time.monotonic)
 
 
@@ -348,7 +353,11 @@ class _ShardHandle:
     #: read end of this shard's single-writer result pipe; None once
     #: the collector has seen EOF and closed it
     res_recv: object
-    send_lock: threading.Lock
+    #: outbound request queue drained by this shard's writer thread —
+    #: the only thread that touches ``req_send``, so a full pipe to a
+    #: hung shard can never block the monitor or a client thread
+    out_q: queue.Queue
+    writer: threading.Thread | None = None
     state: str = "starting"  # starting | live | dead | removed
     spawned_at: float = field(default_factory=time.monotonic)
     last_beat: dict | None = None
@@ -490,7 +499,9 @@ class FleetService:
         self._lock = threading.Lock()
         self._shards: dict[str, _ShardHandle] = {}
         self._pending: dict[int, _Pending] = {}
-        self._controls: dict[int, RequestHandle] = {}
+        #: request id -> (handle, target shard); the shard is recorded
+        #: so a shard death settles its controls instead of leaking them
+        self._controls: dict[int, tuple[RequestHandle, str]] = {}
         self._park: list[_Pending] = []
         #: results of replayed requests retained for dedup verification
         self._replay_results: OrderedDict[int, object] = OrderedDict()
@@ -505,6 +516,7 @@ class FleetService:
         self._started = False
         self._n_initial = int(shards)
         self._stop_event = threading.Event()
+        self._monitor_stop = threading.Event()
         self._collector = threading.Thread(
             target=self._collect_loop, name="tlr-fleet-collect", daemon=True
         )
@@ -550,27 +562,37 @@ class FleetService:
             if self._closed:
                 return
             self._closed = True
+        # Stop the monitor BEFORE asking shards to exit: a shard that
+        # exits cleanly on "stop" must not be mistaken for a failure
+        # and respawned behind our back (the replacement would miss
+        # the stop round and leak past close).  Snapshot the handles
+        # only after the monitor is down, so no respawn can slip in
+        # between the snapshot and the stop round.
+        self._monitor_stop.set()
+        if self._monitor.is_alive():
+            self._monitor.join(timeout=5.0)
+        with self._lock:
             handles = list(self._shards.values())
         for h in handles:
             if h.state in ("starting", "live"):
-                try:
-                    with h.send_lock:
-                        h.req_send.send(("stop",))
-                except OSError:
-                    pass
+                h.out_q.put((("stop",), None))
+            h.out_q.put(None)  # retire the writer after the stop
         deadline = time.monotonic() + 10.0
         for h in handles:
             h.process.join(timeout=max(0.1, deadline - time.monotonic()))
             if h.process.exitcode is None:
                 self.supervisor._kill(h.process)
         self._stop_event.set()
-        self._collector.join(timeout=5.0)
-        self._monitor.join(timeout=5.0)
+        if self._collector.is_alive():
+            self._collector.join(timeout=5.0)
+        for h in handles:
+            if h.writer is not None and h.writer.is_alive():
+                h.writer.join(timeout=2.0)
         exc = ServiceClosedError("fleet closed")
         with self._lock:
             pending = list(self._pending.values())
             self._pending.clear()
-            controls = list(self._controls.values())
+            controls = [c for c, _ in self._controls.values()]
             self._controls.clear()
             parked = list(self._park)
             self._park.clear()
@@ -637,12 +659,17 @@ class FleetService:
         self._router.remove_node(name)
         ctrl = RequestHandle(next(self._req_ids), "drain")
         with self._lock:
-            self._controls[ctrl.request_id] = ctrl
-        with h.send_lock:
-            h.req_send.send(("drain", ctrl.request_id))
+            self._controls[ctrl.request_id] = (ctrl, name)
+        h.out_q.put(
+            (
+                ("drain", ctrl.request_id),
+                lambda: self._fail_control(ctrl.request_id, name),
+            )
+        )
         summary = ctrl.result(timeout=timeout)
         self.supervisor.beat(name, {"handoff": summary.get("handoff")})
         self.supervisor.detach(name)
+        h.out_q.put(None)  # drain delivered: retire the writer
         h.process.join(timeout=10.0)
         if h.process.exitcode is None:  # pragma: no cover - wedged drain
             self.supervisor._kill(h.process)
@@ -698,11 +725,47 @@ class FleetService:
             req_send=req_send,
             beat_recv=beat_recv,
             res_recv=res_recv,
-            send_lock=threading.Lock(),
+            out_q=queue.Queue(),
         )
+        handle.writer = threading.Thread(
+            target=self._writer_loop,
+            args=(handle,),
+            name=f"tlr-{name}-send",
+            daemon=True,
+        )
+        handle.writer.start()
         with self._lock:
             self._shards[name] = handle
         self.supervisor.attach(name, proc)
+
+    def _writer_loop(self, h: _ShardHandle) -> None:
+        """Sole sender on one shard's request pipe.
+
+        Decoupling pipe writes from the monitor and client threads
+        means a hung shard whose pipe buffer fills can only wedge its
+        own writer; heartbeat-staleness detection stays live on the
+        monitor thread, and the SIGKILL it delivers closes the pipe's
+        read end — the blocked send raises EPIPE, unblocking the
+        writer, which then fails the queued work over to the failover
+        path via each item's ``on_fail`` callback.  After the first
+        broken send the writer keeps consuming (failing every item)
+        until its ``None`` sentinel, so a message enqueued after the
+        break is never silently dropped.
+        """
+        broken = False
+        while True:
+            item = h.out_q.get()
+            if item is None:
+                return
+            msg, on_fail = item
+            if not broken:
+                try:
+                    h.req_send.send(msg)
+                    continue
+                except (BrokenPipeError, OSError):
+                    broken = True
+            if on_fail is not None:
+                on_fail()
 
     # ------------------------------------------------------------------
     # client API
@@ -852,37 +915,73 @@ class FleetService:
         raise AssertionError(f"unknown kind {req.kind!r}")
 
     def _dispatch(self, req: _Pending, shard: str) -> bool:
-        """Send ``req`` to ``shard``; False if the pipe is dead."""
+        """Queue ``req`` for ``shard``'s writer; False if the shard is
+        not accepting work.  The pipe write itself happens on the
+        shard's writer thread, so this never blocks: a broken pipe
+        surfaces asynchronously by parking the request for the monitor
+        to re-home."""
         with self._lock:
             h = self._shards.get(shard)
             if h is None or h.state not in ("starting", "live"):
                 return False
-        try:
-            with h.send_lock:
-                h.req_send.send(self._wire_message(req))
-        except (BrokenPipeError, OSError):
-            return False
-        req.shard = shard
+            req.shard = shard
+            req.sent_epoch = h.epoch
+        h.out_q.put(
+            (
+                self._wire_message(req),
+                lambda: self._park_failed_send(req, shard, h.epoch),
+            )
+        )
         return True
+
+    def _park_failed_send(self, req: _Pending, shard: str, epoch: int) -> None:
+        """Writer-thread callback: ``req``'s send hit a dead pipe.
+        Park it for re-homing unless it already settled or the
+        shard-failure path re-dispatched it first."""
+        with self._lock:
+            if req.handle.done():
+                return
+            if self._pending.get(req.req_id) is not req:
+                return
+            if req.shard != shard or req.sent_epoch != epoch:
+                return  # already re-homed by failover
+            if any(p is req for p in self._park):
+                return
+            self._park.append(req)
 
     def _send_control(self, shard: str, kind: str, spec) -> RequestHandle | None:
         """Fire a control request (prewarm) at one shard; None if the
-        shard is not reachable (best-effort by design)."""
+        shard is not accepting work.  The control is tracked against
+        its target shard, so a shard death settles the handle with
+        :class:`ShardFailedError` instead of leaking it."""
         with self._lock:
             h = self._shards.get(shard)
             if h is None or h.state not in ("starting", "live"):
                 return None
         ctrl = RequestHandle(next(self._req_ids), kind)
         with self._lock:
-            self._controls[ctrl.request_id] = ctrl
-        try:
-            with h.send_lock:
-                h.req_send.send((kind, ctrl.request_id, spec))
-        except (BrokenPipeError, OSError):
-            with self._lock:
-                self._controls.pop(ctrl.request_id, None)
-            return None
+            self._controls[ctrl.request_id] = (ctrl, shard)
+        h.out_q.put(
+            (
+                (kind, ctrl.request_id, spec),
+                lambda: self._fail_control(ctrl.request_id, shard),
+            )
+        )
         return ctrl
+
+    def _fail_control(self, req_id: int, shard: str) -> None:
+        """Settle one control handle whose target shard is gone."""
+        with self._lock:
+            entry = self._controls.pop(req_id, None)
+        if entry is None:
+            return
+        ctrl, _ = entry
+        if not ctrl.done():
+            ctrl.set_exception(
+                ShardFailedError(
+                    f"{ctrl.kind} request {req_id} lost shard {shard}"
+                )
+            )
 
     # ------------------------------------------------------------------
     # result collection
@@ -962,8 +1061,9 @@ class FleetService:
     def _on_result(self, msg: tuple) -> None:
         tag, shard, epoch, req_id = msg[:4]
         with self._lock:
-            ctrl = self._controls.pop(req_id, None)
-        if ctrl is not None:
+            entry = self._controls.pop(req_id, None)
+        if entry is not None:
+            ctrl, _ = entry
             if tag == "ok":
                 ctrl.set_result(msg[4])
             else:
@@ -1038,8 +1138,11 @@ class FleetService:
     # ------------------------------------------------------------------
 
     def _monitor_loop(self) -> None:
+        # Runs against its own stop event so close() can retire the
+        # monitor BEFORE stopping shards: otherwise a clean exit
+        # during shutdown reads as a failure and gets respawned.
         interval = self._config["heartbeat_interval"] / 2.0
-        while not self._stop_event.wait(interval):
+        while not self._monitor_stop.wait(interval):
             self._drain_beats()
             for failure in self.supervisor.poll():
                 self._on_shard_failure(failure)
@@ -1063,6 +1166,8 @@ class FleetService:
 
     def _on_shard_failure(self, failure: ShardFailure) -> None:
         with self._lock:
+            if self._closed:
+                return  # close() owns shutdown; exits are not failures
             h = self._shards.get(failure.shard)
             if h is None or h.state in ("dead", "removed"):
                 return
@@ -1077,6 +1182,11 @@ class FleetService:
             victims = [
                 p for p in self._pending.values() if p.shard == failure.shard
             ]
+            dead_ctrl_ids = [
+                rid
+                for rid, (_, s) in self._controls.items()
+                if s == failure.shard
+            ]
         self.metrics.count("shard_failures")
         if failure.hung:
             self.metrics.count("shards_hung_killed")
@@ -1084,10 +1194,19 @@ class FleetService:
         # keeps its shard (the consistent-hashing contract)
         self._router.remove_node(failure.shard)
         self.supervisor.detach(failure.shard)
+        # Controls (prewarm/drain) are pinned to their shard — no
+        # surviving replica can answer them — so settle their handles
+        # rather than leaving callers blocked forever.
+        for rid in dead_ctrl_ids:
+            self._fail_control(rid, failure.shard)
         if victims:
             self.metrics.count("failovers")
         for p in victims:
             self._replay(p)
+        # Retire the dead handle's writer once its backlog drains;
+        # every leftover item fails through on_fail, which defers to
+        # the replay the loop above already performed.
+        h.out_q.put(None)
         if self.supervisor.can_respawn():
             self.supervisor.record_respawn(failure.shard)
             self._respawn_t0[failure.shard] = time.monotonic()
@@ -1133,6 +1252,28 @@ class FleetService:
             return
         decision = self._router.route(req.route_key, count=False)
         if decision is None:
+            # Park only while recovery is possible: a shard is coming
+            # up, or the respawn budget could still produce one.  With
+            # an empty ring and no replacement ever coming, re-parking
+            # would strand a no-deadline caller forever — settle the
+            # handle instead.
+            with self._lock:
+                recovering = any(
+                    s.state in ("starting", "live")
+                    for s in self._shards.values()
+                )
+            if not recovering and not self.supervisor.can_respawn():
+                with self._lock:
+                    self._pending.pop(req.req_id, None)
+                req.handle.set_exception(
+                    ShardUnavailableError(
+                        f"request {req.req_id}: no live shard and the "
+                        "respawn budget is exhausted"
+                    )
+                )
+                self.metrics.count("failed")
+                self.metrics.count("shed_no_shard")
+                return
             with self._lock:
                 self._park.append(req)
             return

@@ -8,6 +8,8 @@ across a shard kill, failover answers bitwise identical to the
 original shard's, and respawn warm from the shared disk cache.
 """
 
+import os
+import signal
 import time
 
 import numpy as np
@@ -17,6 +19,7 @@ from repro.service import (
     FleetService,
     RequestFailedError,
     ServiceClosedError,
+    ShardFailedError,
     ShardUnavailableError,
     reconstruct_error,
 )
@@ -188,6 +191,51 @@ class TestChaos:
         with tiny_fleet(tmp_path, shards=1) as fleet:
             with pytest.raises(ShardUnavailableError):
                 fleet.kill_shard("shard-9")
+
+    @pytest.mark.timeout(120)
+    def test_clean_close_is_not_a_failure(self, tmp_path):
+        """A shard exiting on close()'s "stop" must not be read as a
+        shard failure and respawned behind close's back (the respawn
+        would leak a live child past shutdown)."""
+        fleet = tiny_fleet(tmp_path, shards=2)
+        pids = [s.pid for s in fleet.status()]
+        fleet.close()
+        assert fleet.metrics.counter("shard_failures") == 0
+        assert fleet.metrics.counter("shards_respawned") == 0
+        for pid in pids:  # no orphaned shard processes
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    @pytest.mark.timeout(120)
+    def test_control_requests_fail_over_on_shard_death(
+        self, small_spec, tmp_path
+    ):
+        """A prewarm outstanding on a shard that dies must settle its
+        handle with ShardFailedError, not hang the caller forever."""
+        with tiny_fleet(tmp_path, shards=1) as fleet:
+            (pid,) = [s.pid for s in fleet.status()]
+            os.kill(pid, signal.SIGSTOP)  # wedge: beats stop flowing
+            handles = fleet.prewarm(small_spec)
+            assert handles  # admitted while the shard still looks live
+            # staleness detection SIGKILLs the wedged shard, which must
+            # settle the control handle instead of leaking it
+            with pytest.raises(ShardFailedError):
+                handles[0].result(TIMEOUT)
+
+    @pytest.mark.timeout(120)
+    def test_no_deadline_request_fails_when_fleet_is_unrecoverable(
+        self, tmp_path
+    ):
+        """With the ring empty and the respawn budget exhausted, a
+        parked no-deadline request must settle with
+        ShardUnavailableError rather than re-park forever."""
+        with tiny_fleet(tmp_path, shards=1, max_respawns=0) as fleet:
+            (pid,) = [s.pid for s in fleet.status()]
+            os.kill(pid, signal.SIGSTOP)
+            handle = fleet.submit_occupancy("probe", 30.0)  # no deadline
+            with pytest.raises(ShardUnavailableError):
+                handle.result(TIMEOUT)
+            assert fleet.metrics.counter("shed_no_shard") == 1
 
 
 class TestMembership:
